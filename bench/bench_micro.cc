@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) backing the paper's overhead
+ * claims: Algorithm-1 solve cost (§6.2 reports ~193 ms per case for
+ * SLSQP; our combined solve must be far cheaper to run 1458 cases),
+ * gradient-partitioning cost, simulator throughput, gate kernels, the
+ * GEMM kernel, and the functional AlltoAll algorithms.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/gate.h"
+#include "core/grad_partition.h"
+#include "core/pipeline_solver.h"
+#include "core/schedules/schedule.h"
+#include "dist/communicator.h"
+#include "model/models.h"
+#include "tensor/gemm.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace fsmoe;
+
+core::PipelineProblem
+sampleProblem()
+{
+    sim::ClusterSpec cluster = sim::testbedB();
+    core::PerfModelSet models = core::PerfModelSet::fromCluster(cluster);
+    core::LayerShape shape;
+    shape.embed = 2048;
+    shape.hidden = 6144;
+    shape.numExperts = cluster.numNodes;
+    core::ParallelConfig par = model::paperParallelism(cluster);
+    return core::makeProblem(models, core::deriveWorkload(shape, par),
+                             core::Phase::Backward, 1.0);
+}
+
+void
+BM_SolvePipelineAlgorithm1(benchmark::State &state)
+{
+    core::PipelineProblem p = sampleProblem();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::solvePipeline(p));
+}
+BENCHMARK(BM_SolvePipelineAlgorithm1);
+
+void
+BM_SolvePipelineExhaustive(benchmark::State &state)
+{
+    core::PipelineProblem p = sampleProblem();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::solvePipelineExhaustive(p));
+}
+BENCHMARK(BM_SolvePipelineExhaustive);
+
+void
+BM_GradPartition(benchmark::State &state)
+{
+    const int layers = static_cast<int>(state.range(0));
+    std::vector<core::GeneralizedLayer> gls;
+    for (int i = 0; i < layers; ++i) {
+        core::GeneralizedLayer gl;
+        gl.moe = sampleProblem();
+        gl.moe.tGar = 0.0;
+        gl.denseOlpMs = 0.5;
+        gl.gradBytes = 8.0 * (1 << 20);
+        gls.push_back(gl);
+    }
+    core::LinearModel ar{8.37e-2, 5.99e-7, 1.0};
+    solver::DeConfig de;
+    de.maxGenerations = 40;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::partitionGradients(gls, ar, de));
+}
+BENCHMARK(BM_GradPartition)->Arg(4)->Arg(12);
+
+void
+BM_ScheduleFsMoe(benchmark::State &state)
+{
+    sim::ClusterSpec cluster = sim::testbedB();
+    model::ModelSpec spec = model::mixtral7B(cluster.numNodes, 1, 256, 7);
+    core::ModelCost cost = model::makeModelCost(
+        spec, cluster, model::paperParallelism(cluster));
+    auto sched = core::Schedule::create(core::ScheduleKind::FsMoe);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sched->iterationTimeMs(cost));
+}
+BENCHMARK(BM_ScheduleFsMoe);
+
+void
+BM_Simulator(benchmark::State &state)
+{
+    sim::ClusterSpec cluster = sim::testbedB();
+    model::ModelSpec spec = model::mixtral7B(cluster.numNodes, 1, 256, 7);
+    core::ModelCost cost = model::makeModelCost(
+        spec, cluster, model::paperParallelism(cluster));
+    sim::TaskGraph graph =
+        core::Schedule::create(core::ScheduleKind::Tutel)->build(cost);
+    sim::Simulator simulator;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(simulator.run(graph));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(graph.size()));
+}
+BENCHMARK(BM_Simulator);
+
+void
+BM_GateForward(benchmark::State &state)
+{
+    auto kind = static_cast<core::GateKind>(state.range(0));
+    Rng rng(3);
+    auto gate = core::makeGate(kind, 512, 8, 2, rng);
+    Tensor x = rng.normalTensor({512, 512});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gate->forward(x));
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_GateForward)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(4);
+    Tensor a = rng.normalTensor({n, n});
+    Tensor b = rng.normalTensor({n, n});
+    Tensor c({n, n});
+    for (auto _ : state)
+        gemm(a, Trans::No, b, Trans::No, c);
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256);
+
+void
+BM_AlltoAllFunctional(benchmark::State &state)
+{
+    auto algo = static_cast<dist::A2aAlgo>(state.range(0));
+    const int world = 8;
+    dist::Communicator comm(world);
+    Rng rng(5);
+    std::vector<Tensor> bufs;
+    for (int r = 0; r < world; ++r)
+        bufs.push_back(rng.normalTensor({world * 16, 64}));
+    dist::Group everyone;
+    for (int r = 0; r < world; ++r)
+        everyone.push_back(r);
+    for (auto _ : state) {
+        auto copy = bufs;
+        comm.allToAll(copy, everyone, algo, /*ranks_per_node=*/4);
+        benchmark::DoNotOptimize(copy);
+    }
+}
+BENCHMARK(BM_AlltoAllFunctional)->Arg(0)->Arg(1)->Arg(2);
+
+} // namespace
+
+BENCHMARK_MAIN();

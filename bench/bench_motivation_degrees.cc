@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regenerates the §2.3 motivation statistic: across the 1458 Table 4
+ * configurations on the 32-GPU testbed, how many prefer different
+ * optimal pipeline degrees in forward vs backward (the paper measured
+ * 912 of 1458), plus the distribution of chosen degrees.
+ */
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "core/pipeline_solver.h"
+#include "model/models.h"
+
+int
+main()
+{
+    using namespace fsmoe;
+    sim::ClusterSpec cluster = sim::testbedB();
+    core::ParallelConfig par = model::paperParallelism(cluster);
+    core::PerfModelSet models = core::PerfModelSet::fromCluster(cluster);
+    const auto grid = bench::table4Grid(true, cluster.numNodes);
+
+    int differ = 0;
+    std::map<std::pair<int, int>, int> degree_pairs;
+    for (const core::LayerShape &shape : grid) {
+        core::Workload w = core::deriveWorkload(shape, par);
+        core::PipelineProblem fwd =
+            core::makeProblem(models, w, core::Phase::Forward);
+        core::PipelineProblem bwd = core::makeProblem(
+            models, w, core::Phase::Backward,
+            models.allreduce.predict(w.gradBytes));
+        int rf = core::solvePipeline(fwd).r;
+        int rb = core::solvePipeline(bwd).r;
+        if (rf != rb)
+            differ++;
+        degree_pairs[{rf, rb}]++;
+    }
+
+    bench::header("Motivation (§2.3): forward-vs-backward optimal "
+                  "pipeline degrees on " + cluster.name);
+    std::printf("configs with different fwd/bwd degrees: %d / %zu "
+                "(paper: 912 / 1458)\n\n",
+                differ, grid.size());
+    std::printf("%8s %8s %8s\n", "r_fwd", "r_bwd", "count");
+    for (const auto &[pair, count] : degree_pairs)
+        std::printf("%8d %8d %8d\n", pair.first, pair.second, count);
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses that regenerate the
+ * paper's tables and figures: fixed-width table printing and the
+ * Table 4 configuration grid.
+ */
+#ifndef FSMOE_BENCH_BENCH_UTIL_H
+#define FSMOE_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/moe_config.h"
+#include "sim/cluster.h"
+
+namespace fsmoe::bench {
+
+/** Print a rule line of the given width. */
+inline void
+rule(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+/** Print a section header. */
+inline void
+header(const std::string &title)
+{
+    rule();
+    std::printf("%s\n", title.c_str());
+    rule();
+}
+
+/**
+ * The paper's Table 4 grid: 3 (B) x 3 (heads) x 3 (L) x 3 (M) x
+ * 3 (H/M) x 3 (f) x 2 (ffn) = 1458 configured layers. L depends on
+ * the testbed (Testbed B uses halved sequence lengths, §6.1).
+ */
+inline std::vector<core::LayerShape>
+table4Grid(bool testbed_b, int num_experts)
+{
+    const int64_t batches[] = {1, 2, 4};
+    const int heads[] = {8, 16, 32};
+    const int64_t lens_a[] = {512, 1024, 2048};
+    const int64_t lens_b[] = {256, 512, 1024};
+    const int64_t embeds[] = {1024, 2048, 4096};
+    const double hscales[] = {2.0, 3.0, 4.0};
+    const double factors[] = {1.2, 2.4, -1.0}; // -1 encodes "*"
+    const core::FfnType ffns[] = {core::FfnType::Simple,
+                                  core::FfnType::Mixtral};
+
+    std::vector<core::LayerShape> grid;
+    grid.reserve(1458);
+    for (int64_t b : batches) {
+        for (int h : heads) {
+            for (int64_t l : testbed_b ? lens_b : lens_a) {
+                for (int64_t m : embeds) {
+                    for (double hs : hscales) {
+                        for (double f : factors) {
+                            for (core::FfnType ffn : ffns) {
+                                core::LayerShape s;
+                                s.batch = b;
+                                s.numHeads = h;
+                                s.seqLen = l;
+                                s.embed = m;
+                                s.hidden = static_cast<int64_t>(m * hs);
+                                s.capacityFactor = f;
+                                s.ffn = ffn;
+                                s.topK = 2;
+                                s.numExperts = num_experts;
+                                grid.push_back(s);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grid;
+}
+
+} // namespace fsmoe::bench
+
+#endif // FSMOE_BENCH_BENCH_UTIL_H

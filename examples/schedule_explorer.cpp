@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Visual tour of the schedules: for one configured MoE layer on
+ * Testbed B, print the ASCII Gantt chart of every schedule's task
+ * graph (the executable analogue of the paper's Fig. 3) plus the
+ * per-operation busy-time breakdown and the chosen pipeline degrees.
+ *
+ * Glyph key in the charts: a=attention, r=routing, o=order, d=dispatch
+ * AlltoAll, g=ESP-AllGather, e=experts, s=ESP-ReduceScatter, c=combine
+ * AlltoAll, i=inverse order, G=Gradient-AllReduce.
+ */
+#include <cstdio>
+
+#include "core/pipeline_solver.h"
+#include "core/schedules/schedule.h"
+#include "model/models.h"
+#include "sim/simulator.h"
+
+int
+main()
+{
+    using namespace fsmoe;
+    sim::ClusterSpec cluster = sim::testbedB();
+    core::LayerShape shape;
+    shape.batch = 2;
+    shape.seqLen = 512;
+    shape.embed = 2048;
+    shape.hidden = 6144;
+    shape.numExperts = cluster.numNodes;
+
+    core::ParallelConfig par = model::paperParallelism(cluster);
+    core::ModelCost cost;
+    cost.models = core::PerfModelSet::fromCluster(cluster);
+    cost.layers.push_back(core::makeLayerCost(cost.models, shape, par));
+
+    std::printf("one configured MoE layer (%s) on %s\n",
+                core::describe(shape).c_str(), cluster.name.c_str());
+
+    core::Workload w = cost.layers[0].workload;
+    auto fwd = core::solvePipeline(
+        core::makeProblem(cost.models, w, core::Phase::Forward));
+    auto bwd = core::solvePipeline(core::makeProblem(
+        cost.models, w, core::Phase::Backward,
+        cost.models.allreduce.predict(w.gradBytes)));
+    std::printf("Algorithm 1 degrees: forward r=%d, backward r=%d\n\n",
+                fwd.r, bwd.r);
+
+    for (core::ScheduleKind kind : core::allScheduleKinds()) {
+        auto sched = core::Schedule::create(kind);
+        sim::TaskGraph graph;
+        sim::SimResult res = sched->simulate(cost, &graph);
+        std::printf("=== %-16s  iteration %8.2f ms ===\n", sched->name(),
+                    res.makespan);
+        std::printf("%s", sim::Simulator::gantt(graph, res, 96).c_str());
+        std::printf("busy ms: a2a %.2f | gar %.2f | ag %.2f | rs %.2f | "
+                    "experts %.2f | attention %.2f\n\n",
+                    res.timeOf(sim::OpType::AlltoAll),
+                    res.timeOf(sim::OpType::GradAllReduce),
+                    res.timeOf(sim::OpType::AllGather),
+                    res.timeOf(sim::OpType::ReduceScatter),
+                    res.timeOf(sim::OpType::Experts),
+                    res.timeOf(sim::OpType::Attention));
+    }
+    return 0;
+}

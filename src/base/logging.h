@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Error-reporting and assertion helpers shared by every FSMoE module.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (bugs in FSMoE itself), fatal() is for user errors such as
+ * invalid configurations. Both print a location-tagged message; panic()
+ * aborts so a debugger or core dump can capture the state, fatal() exits
+ * with a non-zero status.
+ */
+#ifndef FSMOE_BASE_LOGGING_H
+#define FSMOE_BASE_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace fsmoe {
+
+namespace detail {
+
+/** Format a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+
+} // namespace detail
+
+} // namespace fsmoe
+
+/** Abort with a message; use for conditions that indicate an FSMoE bug. */
+#define FSMOE_PANIC(...) \
+    ::fsmoe::detail::panicImpl(__FILE__, __LINE__, \
+                               ::fsmoe::detail::concat(__VA_ARGS__))
+
+/** Exit with a message; use for invalid user input or configuration. */
+#define FSMOE_FATAL(...) \
+    ::fsmoe::detail::fatalImpl(__FILE__, __LINE__, \
+                               ::fsmoe::detail::concat(__VA_ARGS__))
+
+/** Print a warning without stopping execution. */
+#define FSMOE_WARN(...) \
+    ::fsmoe::detail::warnImpl(__FILE__, __LINE__, \
+                              ::fsmoe::detail::concat(__VA_ARGS__))
+
+/** Internal invariant check, active in all build types. */
+#define FSMOE_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            FSMOE_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+/** Validate user-supplied arguments; failure is a usage error, not a bug. */
+#define FSMOE_CHECK_ARG(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            FSMOE_FATAL("invalid argument: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // FSMOE_BASE_LOGGING_H

@@ -1,0 +1,151 @@
+#include "core/attention.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace fsmoe::core {
+
+namespace {
+
+constexpr float kInitStd = 0.02f;
+constexpr float kMaskValue = -1e30f;
+
+} // namespace
+
+MultiHeadAttention::MultiHeadAttention(const AttentionOptions &options)
+    : options_(options)
+{
+    FSMOE_CHECK_ARG(options.embed % options.numHeads == 0,
+                    "embed ", options.embed, " must divide by ",
+                    options.numHeads, " heads");
+    FSMOE_CHECK_ARG(options.seqLen >= 1, "sequence length must be >= 1");
+    headDim_ = options.embed / options.numHeads;
+    Rng rng(options.seed);
+    wqkv_ = rng.normalTensor({options.embed, 3 * options.embed}, 0.0f,
+                             kInitStd);
+    wout_ = rng.normalTensor({options.embed, options.embed}, 0.0f,
+                             kInitStd);
+    dWqkv_ = Tensor({options.embed, 3 * options.embed});
+    dWout_ = Tensor({options.embed, options.embed});
+}
+
+void
+MultiHeadAttention::zeroGrad()
+{
+    dWqkv_.fill(0.0f);
+    dWout_.fill(0.0f);
+}
+
+Tensor
+MultiHeadAttention::forward(const Tensor &x)
+{
+    const int64_t m = options_.embed;
+    const int64_t l = options_.seqLen;
+    const int h = options_.numHeads;
+    const int64_t dh = headDim_;
+    FSMOE_CHECK_ARG(x.dim() == 2 && x.size(1) == m &&
+                        x.size(0) % l == 0,
+                    "attention input must be (B*L, M) with L=", l);
+    batch_ = x.size(0) / l;
+    x_ = x;
+    qkv_ = matmul(x, wqkv_); // (B*L, 3M)
+
+    probs_ = Tensor({batch_ * h, l, l});
+    context_ = Tensor({batch_ * l, m});
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    Tensor q({l, dh}), k({l, dh}), v({l, dh});
+    for (int64_t b = 0; b < batch_; ++b) {
+        for (int hi = 0; hi < h; ++hi) {
+            // Gather this head's Q/K/V rows.
+            for (int64_t t = 0; t < l; ++t) {
+                const float *row = qkv_.data() + (b * l + t) * 3 * m;
+                std::copy(row + hi * dh, row + (hi + 1) * dh,
+                          q.data() + t * dh);
+                std::copy(row + m + hi * dh, row + m + (hi + 1) * dh,
+                          k.data() + t * dh);
+                std::copy(row + 2 * m + hi * dh,
+                          row + 2 * m + (hi + 1) * dh, v.data() + t * dh);
+            }
+            Tensor scores = matmul(q, k, Trans::No, Trans::Yes);
+            scores.scale_(scale);
+            if (options_.causal) {
+                for (int64_t i = 0; i < l; ++i)
+                    for (int64_t j = i + 1; j < l; ++j)
+                        scores.at(i, j) = kMaskValue;
+            }
+            Tensor p = softmaxRows(scores);
+            std::copy(p.data(), p.data() + l * l,
+                      probs_.data() + (b * h + hi) * l * l);
+            Tensor ctx = matmul(p, v); // (L, dh)
+            for (int64_t t = 0; t < l; ++t) {
+                std::copy(ctx.data() + t * dh, ctx.data() + (t + 1) * dh,
+                          context_.data() + (b * l + t) * m + hi * dh);
+            }
+        }
+    }
+    return matmul(context_, wout_);
+}
+
+Tensor
+MultiHeadAttention::backward(const Tensor &dy)
+{
+    const int64_t m = options_.embed;
+    const int64_t l = options_.seqLen;
+    const int h = options_.numHeads;
+    const int64_t dh = headDim_;
+    FSMOE_CHECK_ARG(dy.sameShape(x_), "attention backward shape mismatch");
+
+    gemm(context_, Trans::Yes, dy, Trans::No, dWout_, 1.0f, 1.0f);
+    Tensor d_context = matmul(dy, wout_, Trans::No, Trans::Yes);
+
+    Tensor d_qkv({batch_ * l, 3 * m});
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    Tensor q({l, dh}), k({l, dh}), v({l, dh}), dctx({l, dh});
+    for (int64_t b = 0; b < batch_; ++b) {
+        for (int hi = 0; hi < h; ++hi) {
+            for (int64_t t = 0; t < l; ++t) {
+                const float *row = qkv_.data() + (b * l + t) * 3 * m;
+                std::copy(row + hi * dh, row + (hi + 1) * dh,
+                          q.data() + t * dh);
+                std::copy(row + m + hi * dh, row + m + (hi + 1) * dh,
+                          k.data() + t * dh);
+                std::copy(row + 2 * m + hi * dh,
+                          row + 2 * m + (hi + 1) * dh, v.data() + t * dh);
+                const float *drow = d_context.data() + (b * l + t) * m;
+                std::copy(drow + hi * dh, drow + (hi + 1) * dh,
+                          dctx.data() + t * dh);
+            }
+            Tensor p({l, l});
+            std::copy(probs_.data() + (b * h + hi) * l * l,
+                      probs_.data() + (b * h + hi + 1) * l * l, p.data());
+
+            Tensor d_p = matmul(dctx, v, Trans::No, Trans::Yes);
+            Tensor d_v = matmul(p, dctx, Trans::Yes, Trans::No);
+            Tensor d_scores = softmaxRowsBackward(p, d_p);
+            d_scores.scale_(scale);
+            // Masked positions have p == 0 and receive a gradient of
+            // p*(g - dot) == 0 from the softmax backward, so no
+            // explicit re-masking is needed.
+            Tensor d_q = matmul(d_scores, k);
+            Tensor d_k = matmul(d_scores, q, Trans::Yes, Trans::No);
+            for (int64_t t = 0; t < l; ++t) {
+                float *row = d_qkv.data() + (b * l + t) * 3 * m;
+                std::copy(d_q.data() + t * dh, d_q.data() + (t + 1) * dh,
+                          row + hi * dh);
+                std::copy(d_k.data() + t * dh, d_k.data() + (t + 1) * dh,
+                          row + m + hi * dh);
+                std::copy(d_v.data() + t * dh, d_v.data() + (t + 1) * dh,
+                          row + 2 * m + hi * dh);
+            }
+        }
+    }
+    gemm(x_, Trans::Yes, d_qkv, Trans::No, dWqkv_, 1.0f, 1.0f);
+    return matmul(d_qkv, wqkv_, Trans::No, Trans::Yes);
+}
+
+} // namespace fsmoe::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Multi-head self-attention — the dense sibling of the MoE layer in
+ * every transformer block the paper evaluates (Table 2's "Attention"
+ * column). Implemented functionally with an exact manual backward so
+ * the full transformer block (attention + MoE) can train end-to-end
+ * on the CPU substrate.
+ *
+ * The implementation is deliberately un-sharded (each rank runs full
+ * attention over its own tokens); the *cost* of Megatron-style MP
+ * sharding is captured by the scheduler's Workload::attnMacs model,
+ * while the numerics here are layout-independent.
+ */
+#ifndef FSMOE_CORE_ATTENTION_H
+#define FSMOE_CORE_ATTENTION_H
+
+#include <memory>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace fsmoe::core {
+
+/** Configuration of one attention layer. */
+struct AttentionOptions
+{
+    int64_t embed = 64;   ///< M, must divide by numHeads.
+    int numHeads = 4;     ///< Attention heads.
+    int64_t seqLen = 16;  ///< L, the sequence length per sample.
+    bool causal = true;   ///< Apply a causal (autoregressive) mask.
+    uint64_t seed = 99;   ///< Weight initialisation seed.
+};
+
+/**
+ * Multi-head scaled-dot-product self-attention with combined QKV
+ * projection, matching the GPT-2 block structure.
+ */
+class MultiHeadAttention
+{
+  public:
+    explicit MultiHeadAttention(const AttentionOptions &options);
+
+    const AttentionOptions &options() const { return options_; }
+
+    /**
+     * Forward over a batch of sequences.
+     *
+     * @param x  Tokens of shape (B*L, M), sequence-major: row
+     *           b*L + t is token t of sample b.
+     * @return   Attention output of the same shape.
+     */
+    Tensor forward(const Tensor &x);
+
+    /** Backward; accumulates weight gradients, returns dX. */
+    Tensor backward(const Tensor &dy);
+
+    std::vector<Tensor *> params() { return {&wqkv_, &wout_}; }
+    std::vector<Tensor *> grads() { return {&dWqkv_, &dWout_}; }
+
+    /** Reset parameter gradients. */
+    void zeroGrad();
+
+  private:
+    AttentionOptions options_;
+    int64_t headDim_;
+    Tensor wqkv_;  ///< (M, 3M) combined projection.
+    Tensor wout_;  ///< (M, M) output projection.
+    Tensor dWqkv_, dWout_;
+
+    // Forward caches.
+    Tensor x_, qkv_, probs_, context_;
+    int64_t batch_ = 0;
+};
+
+} // namespace fsmoe::core
+
+#endif // FSMOE_CORE_ATTENTION_H

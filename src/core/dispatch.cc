@@ -1,0 +1,44 @@
+#include "core/dispatch.h"
+
+#include "base/logging.h"
+
+namespace fsmoe::core {
+
+const char *
+a2aAlgoName(dist::A2aAlgo algo)
+{
+    switch (algo) {
+      case dist::A2aAlgo::NcclDirect: return "nccl-a2a";
+      case dist::A2aAlgo::Hier1D: return "1dh-a2a";
+      case dist::A2aAlgo::Hier2D: return "2dh-a2a";
+      default: return "?";
+    }
+}
+
+double
+a2aCostMs(const sim::ClusterSpec &cluster, dist::A2aAlgo algo, double bytes)
+{
+    FSMOE_CHECK_ARG(bytes >= 0.0, "negative message size");
+    const double direct = cluster.alltoall(bytes);
+    if (algo == dist::A2aAlgo::NcclDirect || cluster.gpusPerNode <= 1)
+        return direct;
+
+    // Hierarchical variants: one intra-node staging pass over the full
+    // buffer, then an inter-node exchange whose startup is amortised
+    // over ranks_per_node-fold larger messages. The per-byte interval
+    // of the inter-node stage is unchanged (the same bytes cross the
+    // same NICs); only the latency term shrinks.
+    const double g = static_cast<double>(cluster.gpusPerNode);
+    const double intra = cluster.allgather.alpha +
+                         cluster.allgather.beta * bytes;
+    const double inter = cluster.alltoall.alpha / g +
+                         cluster.alltoall.beta * bytes;
+    // 2DH's stride-aligned staging avoids one local transpose pass
+    // relative to 1DH, modelled as half the intra startup.
+    const double staging = algo == dist::A2aAlgo::Hier2D
+                               ? intra - 0.5 * cluster.allgather.alpha
+                               : intra;
+    return staging + inter;
+}
+
+} // namespace fsmoe::core

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Dispatch/Combine — the collective-communication sub-module (§3.1).
+ *
+ * Functionally, token dispatch is an AlltoAll over the EP group, which
+ * dist::Communicator performs with any of the three supported
+ * algorithms (NCCL direct, 1DH, 2DH); this header adds the *cost*
+ * models the scheduler uses to price each algorithm on a cluster:
+ *
+ *  - NCCL direct: every rank exchanges P-1 messages of n/P bytes over
+ *    the inter-node fabric; t = alpha + beta*n.
+ *  - 1DH-A2A (Hetu): an intra-node aggregation stage first, so the
+ *    inter-node stage sends fewer, larger messages: lower effective
+ *    startup, plus the intra-node stage's cost.
+ *  - 2DH-A2A (Tutel/DeepSpeed): the same two stages in the opposite
+ *    order, aligning message strides; same asymptotic behaviour with
+ *    slightly different staging.
+ */
+#ifndef FSMOE_CORE_DISPATCH_H
+#define FSMOE_CORE_DISPATCH_H
+
+#include "dist/communicator.h"
+#include "sim/cluster.h"
+
+namespace fsmoe::core {
+
+/** Printable AlltoAll algorithm name. */
+const char *a2aAlgoName(dist::A2aAlgo algo);
+
+/**
+ * Predicted time (ms) of one AlltoAll of @p bytes per GPU on
+ * @p cluster using @p algo.
+ *
+ * The hierarchical variants pay an extra intra-node pass of the full
+ * buffer but amortise the inter-node startup over ranks_per_node
+ * larger messages (the 2.12x message-count reduction NCCL's blog and
+ * Tutel report); with one GPU per node they degenerate to direct.
+ */
+double a2aCostMs(const sim::ClusterSpec &cluster, dist::A2aAlgo algo,
+                 double bytes);
+
+} // namespace fsmoe::core
+
+#endif // FSMOE_CORE_DISPATCH_H

@@ -1,0 +1,173 @@
+#include "core/expert.h"
+
+#include "base/logging.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace fsmoe::core {
+
+void
+ExpertBase::zeroGrad()
+{
+    for (Tensor *g : grads())
+        g->fill(0.0f);
+}
+
+namespace {
+
+constexpr float kInitStd = 0.02f;
+
+/** Copy a column block [c0, c1) of a (rows, cols) matrix. */
+Tensor
+sliceCols(const Tensor &w, int64_t c0, int64_t c1)
+{
+    const int64_t rows = w.size(0);
+    const int64_t cols = w.size(1);
+    FSMOE_CHECK_ARG(c0 >= 0 && c0 < c1 && c1 <= cols, "bad column slice");
+    Tensor out({rows, c1 - c0});
+    for (int64_t r = 0; r < rows; ++r) {
+        std::copy(w.data() + r * cols + c0, w.data() + r * cols + c1,
+                  out.data() + r * (c1 - c0));
+    }
+    return out;
+}
+
+/**
+ * GPT-2 style expert: y = act(x W1) W2 with GELU activation.
+ */
+class SimpleFfnExpert : public ExpertBase
+{
+  public:
+    SimpleFfnExpert(Tensor w1, Tensor w2)
+        : w1_(std::move(w1)), w2_(std::move(w2)), dW1_(w1_.shape()),
+          dW2_(w2_.shape())
+    {
+    }
+
+    SimpleFfnExpert(int64_t embed, int64_t hidden, Rng &rng)
+        : SimpleFfnExpert(rng.normalTensor({embed, hidden}, 0.0f, kInitStd),
+                          rng.normalTensor({hidden, embed}, 0.0f, kInitStd))
+    {
+    }
+
+    std::string name() const override { return "simple-ffn"; }
+
+    Tensor
+    forward(const Tensor &x) override
+    {
+        x_ = x;
+        pre_ = matmul(x, w1_);
+        act_ = gelu(pre_);
+        return matmul(act_, w2_);
+    }
+
+    Tensor
+    backward(const Tensor &dy) override
+    {
+        gemm(act_, Trans::Yes, dy, Trans::No, dW2_, 1.0f, 1.0f);
+        Tensor d_act = matmul(dy, w2_, Trans::No, Trans::Yes);
+        Tensor d_pre = geluBackward(pre_, d_act);
+        gemm(x_, Trans::Yes, d_pre, Trans::No, dW1_, 1.0f, 1.0f);
+        return matmul(d_pre, w1_, Trans::No, Trans::Yes);
+    }
+
+    std::vector<Tensor *> params() override { return {&w1_, &w2_}; }
+    std::vector<Tensor *> grads() override { return {&dW1_, &dW2_}; }
+
+    std::unique_ptr<ExpertBase>
+    shard(int s, int n) const override
+    {
+        const int64_t h = w1_.size(1);
+        FSMOE_CHECK_ARG(n >= 1 && s >= 0 && s < n && h % n == 0,
+                        "cannot shard hidden dim ", h, " into ", n);
+        const int64_t hs = h / n;
+        Tensor w1 = sliceCols(w1_, s * hs, (s + 1) * hs);
+        Tensor w2 = w2_.sliceDim0(s * hs, (s + 1) * hs);
+        return std::make_unique<SimpleFfnExpert>(std::move(w1),
+                                                 std::move(w2));
+    }
+
+  private:
+    Tensor w1_, w2_, dW1_, dW2_;
+    Tensor x_, pre_, act_;
+};
+
+/**
+ * Mixtral expert [20]: y = (silu(x W1) * (x W3)) W2.
+ */
+class MixtralExpert : public ExpertBase
+{
+  public:
+    MixtralExpert(Tensor w1, Tensor w3, Tensor w2)
+        : w1_(std::move(w1)), w3_(std::move(w3)), w2_(std::move(w2)),
+          dW1_(w1_.shape()), dW3_(w3_.shape()), dW2_(w2_.shape())
+    {
+    }
+
+    MixtralExpert(int64_t embed, int64_t hidden, Rng &rng)
+        : MixtralExpert(rng.normalTensor({embed, hidden}, 0.0f, kInitStd),
+                        rng.normalTensor({embed, hidden}, 0.0f, kInitStd),
+                        rng.normalTensor({hidden, embed}, 0.0f, kInitStd))
+    {
+    }
+
+    std::string name() const override { return "mixtral-ffn"; }
+
+    Tensor
+    forward(const Tensor &x) override
+    {
+        x_ = x;
+        gatePre_ = matmul(x, w1_);
+        gateAct_ = silu(gatePre_);
+        up_ = matmul(x, w3_);
+        hidden_ = mul(gateAct_, up_);
+        return matmul(hidden_, w2_);
+    }
+
+    Tensor
+    backward(const Tensor &dy) override
+    {
+        gemm(hidden_, Trans::Yes, dy, Trans::No, dW2_, 1.0f, 1.0f);
+        Tensor d_hidden = matmul(dy, w2_, Trans::No, Trans::Yes);
+        Tensor d_gate_act = mul(d_hidden, up_);
+        Tensor d_up = mul(d_hidden, gateAct_);
+        Tensor d_gate_pre = siluBackward(gatePre_, d_gate_act);
+        gemm(x_, Trans::Yes, d_gate_pre, Trans::No, dW1_, 1.0f, 1.0f);
+        gemm(x_, Trans::Yes, d_up, Trans::No, dW3_, 1.0f, 1.0f);
+        Tensor dx = matmul(d_gate_pre, w1_, Trans::No, Trans::Yes);
+        dx.add_(matmul(d_up, w3_, Trans::No, Trans::Yes));
+        return dx;
+    }
+
+    std::vector<Tensor *> params() override { return {&w1_, &w3_, &w2_}; }
+    std::vector<Tensor *> grads() override { return {&dW1_, &dW3_, &dW2_}; }
+
+    std::unique_ptr<ExpertBase>
+    shard(int s, int n) const override
+    {
+        const int64_t h = w1_.size(1);
+        FSMOE_CHECK_ARG(n >= 1 && s >= 0 && s < n && h % n == 0,
+                        "cannot shard hidden dim ", h, " into ", n);
+        const int64_t hs = h / n;
+        return std::make_unique<MixtralExpert>(
+            sliceCols(w1_, s * hs, (s + 1) * hs),
+            sliceCols(w3_, s * hs, (s + 1) * hs),
+            w2_.sliceDim0(s * hs, (s + 1) * hs));
+    }
+
+  private:
+    Tensor w1_, w3_, w2_, dW1_, dW3_, dW2_;
+    Tensor x_, gatePre_, gateAct_, up_, hidden_;
+};
+
+} // namespace
+
+std::unique_ptr<ExpertBase>
+makeExpert(FfnType type, int64_t embed, int64_t hidden, Rng &rng)
+{
+    if (type == FfnType::Mixtral)
+        return std::make_unique<MixtralExpert>(embed, hidden, rng);
+    return std::make_unique<SimpleFfnExpert>(embed, hidden, rng);
+}
+
+} // namespace fsmoe::core

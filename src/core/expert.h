@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Expert networks — the Expert sub-module of §3.1.
+ *
+ * Two variants mirror the paper's pre-implemented experts: the GPT-2
+ * style two-layer feed-forward network [3] and the Mixtral SwiGLU
+ * network [20]. Experts are bias-free (as in Mixtral), which also
+ * keeps capacity padding exactly neutral: a zero row stays zero
+ * through the network, so padded slots never leak into combines.
+ *
+ * Each expert supports column-sharding of its hidden dimension for
+ * expert-sharding parallelism: shard(s, n) returns the s-th of n
+ * shards, and summing the shards' outputs reproduces the full expert
+ * (ESP-ReduceScatter does that sum in MoeLayer).
+ */
+#ifndef FSMOE_CORE_EXPERT_H
+#define FSMOE_CORE_EXPERT_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/moe_config.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace fsmoe::core {
+
+/**
+ * Abstract expert: a token-wise (t, M) -> (t, M) network with manual
+ * backward. Subclass to plug custom experts into MoeLayer (the
+ * paper's ExpertBase in Listing 1).
+ */
+class ExpertBase
+{
+  public:
+    virtual ~ExpertBase() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Forward; caches activations for backward. */
+    virtual Tensor forward(const Tensor &x) = 0;
+
+    /**
+     * Backward: accumulate weight gradients and return the gradient
+     * w.r.t. the last forward's input.
+     */
+    virtual Tensor backward(const Tensor &dy) = 0;
+
+    /** Trainable parameters. */
+    virtual std::vector<Tensor *> params() = 0;
+
+    /** Gradients aligned with params(). */
+    virtual std::vector<Tensor *> grads() = 0;
+
+    /**
+     * Hidden-dimension shard s of n: an expert whose output is this
+     * expert's partial contribution; the n shards' outputs sum to the
+     * full output.
+     */
+    virtual std::unique_ptr<ExpertBase> shard(int s, int n) const = 0;
+
+    /** Reset all parameter gradients to zero. */
+    void zeroGrad();
+};
+
+/** Construct a fresh randomly-initialised expert. */
+std::unique_ptr<ExpertBase> makeExpert(FfnType type, int64_t embed,
+                                       int64_t hidden, Rng &rng);
+
+} // namespace fsmoe::core
+
+#endif // FSMOE_CORE_EXPERT_H

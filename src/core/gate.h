@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Gating (routing) functions — the Gate sub-module of §3.1.
+ *
+ * A gate maps a batch of tokens (n, M) to a set of token->expert
+ * assignments with combine weights. Both token-choice routing (GShard,
+ * Sigmoid/BASE, X-MoE) and expert-choice routing (EC) fit this shape:
+ * token-choice emits k assignments per token, expert-choice emits
+ * capacity-many assignments per expert.
+ *
+ * Every gate implements an exact manual backward pass: given the loss
+ * gradient w.r.t. each assignment's combine weight, it accumulates
+ * parameter gradients and returns the gradient w.r.t. the input
+ * tokens. The tests validate all four against finite differences.
+ */
+#ifndef FSMOE_CORE_GATE_H
+#define FSMOE_CORE_GATE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace fsmoe::core {
+
+/** One routed token->expert pair. */
+struct Assignment
+{
+    int64_t token = 0; ///< Row index into the gate input.
+    int expert = 0;    ///< Global expert index.
+    float weight = 0.0f; ///< Combine scale applied to the expert output.
+};
+
+/** Output of a gate forward pass. */
+struct GateResult
+{
+    std::vector<Assignment> assignments;
+};
+
+/** Available gate implementations (paper §3.1 and Table 6). */
+enum class GateKind
+{
+    GShard,      ///< Noisy top-k softmax gate [22].
+    Sigmoid,     ///< BASE/StableMoE sigmoid gate [23, 8].
+    XMoe,        ///< X-MoE low-rank cosine gate [6].
+    ExpertChoice ///< Expert-choice routing [51].
+};
+
+/** Printable gate name. */
+const char *gateKindName(GateKind kind);
+
+/**
+ * Abstract gate. Subclass and override forward/backward to plug a
+ * custom routing function into MoeLayer (paper Listing 1).
+ */
+class GateBase
+{
+  public:
+    virtual ~GateBase() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Route a batch of tokens.
+     *
+     * @param x  Input tokens, shape (n, M). The gate caches whatever
+     *           it needs for the subsequent backward call.
+     */
+    virtual GateResult forward(const Tensor &x) = 0;
+
+    /**
+     * Backpropagate through the routing decision.
+     *
+     * @param d_weights  Gradient w.r.t. each assignment's combine
+     *                   weight, aligned with the last forward's
+     *                   GateResult::assignments (zero for dropped
+     *                   assignments).
+     * @return Gradient w.r.t. the input tokens, shape (n, M).
+     */
+    virtual Tensor backward(const std::vector<float> &d_weights) = 0;
+
+    /** Trainable parameters (for updates and gradient sync). */
+    virtual std::vector<Tensor *> params() = 0;
+
+    /** Gradients aligned with params(). */
+    virtual std::vector<Tensor *> grads() = 0;
+
+    /** Reset all parameter gradients to zero. */
+    void zeroGrad();
+};
+
+/** Load-balancing auxiliary loss (GShard/Switch style). */
+struct AuxLossResult
+{
+    double loss = 0.0;
+    /// Gradient w.r.t. each assignment's combine weight, aligned with
+    /// GateResult::assignments; feed to GateBase::backward.
+    std::vector<float> dWeights;
+};
+
+/**
+ * Compute the auxiliary load-balancing loss L = E * sum_e f_e * P_e,
+ * where f_e is the fraction of assignments routed to expert e and P_e
+ * the mean routed probability mass of expert e. Minimised when the
+ * router spreads tokens uniformly; its gradient flows through the
+ * combine weights, so it composes with GateBase::backward.
+ *
+ * @param routing     A gate's forward output.
+ * @param num_experts E.
+ * @param num_tokens  n (tokens routed in this batch).
+ * @param scale       Loss multiplier (the alpha of GShard Eq. 4).
+ */
+AuxLossResult loadBalanceLoss(const GateResult &routing, int num_experts,
+                              int64_t num_tokens, double scale = 1.0);
+
+/**
+ * Construct one of the built-in gates.
+ *
+ * @param kind         Which routing function.
+ * @param embed        Token embedding size M.
+ * @param num_experts  Total expert count E.
+ * @param top_k        Experts per token (token-choice) or the k of the
+ *                     expert-choice capacity C = n*k/E.
+ * @param rng          Source for parameter init (and GShard noise).
+ */
+std::unique_ptr<GateBase> makeGate(GateKind kind, int64_t embed,
+                                   int num_experts, int top_k, Rng &rng);
+
+} // namespace fsmoe::core
+
+#endif // FSMOE_CORE_GATE_H

@@ -1,0 +1,435 @@
+#include "core/gate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace fsmoe::core {
+
+const char *
+gateKindName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::GShard: return "gshard";
+      case GateKind::Sigmoid: return "sigmoid";
+      case GateKind::XMoe: return "x-moe";
+      case GateKind::ExpertChoice: return "expert-choice";
+      default: return "?";
+    }
+}
+
+void
+GateBase::zeroGrad()
+{
+    for (Tensor *g : grads())
+        g->fill(0.0f);
+}
+
+namespace {
+
+constexpr float kInitStd = 0.02f;
+
+float
+sigmoidScalar(float v)
+{
+    if (v >= 0.0f)
+        return 1.0f / (1.0f + std::exp(-v));
+    float e = std::exp(v);
+    return e / (1.0f + e);
+}
+
+/**
+ * GShard noisy top-k gate [22]: H(I) = I*Wg + N(0,1)*softplus(I*Wnoise),
+ * G = Softmax(KeepTopK(H, k)). Softmax over a top-k-masked vector
+ * equals a softmax restricted to the selected entries, which is how
+ * both directions are computed here. Noise is disabled by default so
+ * runs are reproducible; enable it with setNoisy(true).
+ */
+class GShardGate : public GateBase
+{
+  public:
+    GShardGate(int64_t embed, int num_experts, int top_k, Rng &rng)
+        : topK_(top_k), rng_(&rng),
+          wg_(rng.normalTensor({embed, num_experts}, 0.0f, kInitStd)),
+          wnoise_(rng.normalTensor({embed, num_experts}, 0.0f, kInitStd)),
+          dWg_({embed, num_experts}), dWnoise_({embed, num_experts})
+    {
+    }
+
+    std::string name() const override { return "gshard"; }
+
+    void setNoisy(bool noisy) { noisy_ = noisy; }
+
+    GateResult
+    forward(const Tensor &x) override
+    {
+        x_ = x;
+        logits_ = matmul(x, wg_);
+        if (noisy_) {
+            u_ = matmul(x, wnoise_);
+            noise_ = rng_->normalTensor(logits_.shape());
+            Tensor sp = softplus(u_);
+            for (int64_t i = 0; i < logits_.numel(); ++i)
+                logits_.flat(i) += noise_.flat(i) * sp.flat(i);
+        }
+        TopK top = topkRows(logits_, topK_);
+        topIdx_ = top.indices;
+        probs_ = softmaxRows(top.values);
+
+        const int64_t n = x.size(0);
+        GateResult result;
+        result.assignments.reserve(n * topK_);
+        for (int64_t t = 0; t < n; ++t) {
+            for (int j = 0; j < topK_; ++j) {
+                result.assignments.push_back(
+                    {t, static_cast<int>(topIdx_[t * topK_ + j]),
+                     probs_.at(t, j)});
+            }
+        }
+        return result;
+    }
+
+    Tensor
+    backward(const std::vector<float> &d_weights) override
+    {
+        const int64_t n = x_.size(0);
+        FSMOE_CHECK_ARG(static_cast<int64_t>(d_weights.size()) ==
+                            n * topK_,
+                        "gradient count mismatch in gate backward");
+        Tensor d_probs({n, topK_});
+        for (int64_t i = 0; i < n * topK_; ++i)
+            d_probs.flat(i) = d_weights[i];
+        Tensor d_vals = softmaxRowsBackward(probs_, d_probs);
+
+        Tensor d_logits({n, wg_.size(1)});
+        for (int64_t t = 0; t < n; ++t)
+            for (int j = 0; j < topK_; ++j)
+                d_logits.at(t, topIdx_[t * topK_ + j]) = d_vals.at(t, j);
+
+        gemm(x_, Trans::Yes, d_logits, Trans::No, dWg_, 1.0f, 1.0f);
+        Tensor dx = matmul(d_logits, wg_, Trans::No, Trans::Yes);
+        if (noisy_) {
+            Tensor du = d_logits;
+            for (int64_t i = 0; i < du.numel(); ++i)
+                du.flat(i) *= noise_.flat(i) * sigmoidScalar(u_.flat(i));
+            gemm(x_, Trans::Yes, du, Trans::No, dWnoise_, 1.0f, 1.0f);
+            dx.add_(matmul(du, wnoise_, Trans::No, Trans::Yes));
+        }
+        return dx;
+    }
+
+    std::vector<Tensor *> params() override { return {&wg_, &wnoise_}; }
+    std::vector<Tensor *> grads() override { return {&dWg_, &dWnoise_}; }
+
+  private:
+    int topK_;
+    bool noisy_ = false;
+    Rng *rng_;
+    Tensor wg_, wnoise_, dWg_, dWnoise_;
+    // Forward caches.
+    Tensor x_, logits_, u_, noise_, probs_;
+    std::vector<int64_t> topIdx_;
+};
+
+/**
+ * Sigmoid gate (BASE [23], StableMoE [8]): scores s = I*Wg, top-k by
+ * score, combine weight sigma(s).
+ */
+class SigmoidGate : public GateBase
+{
+  public:
+    SigmoidGate(int64_t embed, int num_experts, int top_k, Rng &rng)
+        : topK_(top_k),
+          wg_(rng.normalTensor({embed, num_experts}, 0.0f, kInitStd)),
+          dWg_({embed, num_experts})
+    {
+    }
+
+    std::string name() const override { return "sigmoid"; }
+
+    GateResult
+    forward(const Tensor &x) override
+    {
+        x_ = x;
+        scores_ = matmul(x, wg_);
+        TopK top = topkRows(scores_, topK_);
+        topIdx_ = top.indices;
+        selected_ = top.values;
+
+        const int64_t n = x.size(0);
+        GateResult result;
+        result.assignments.reserve(n * topK_);
+        for (int64_t t = 0; t < n; ++t) {
+            for (int j = 0; j < topK_; ++j) {
+                result.assignments.push_back(
+                    {t, static_cast<int>(topIdx_[t * topK_ + j]),
+                     sigmoidScalar(selected_.at(t, j))});
+            }
+        }
+        return result;
+    }
+
+    Tensor
+    backward(const std::vector<float> &d_weights) override
+    {
+        const int64_t n = x_.size(0);
+        FSMOE_CHECK_ARG(static_cast<int64_t>(d_weights.size()) ==
+                            n * topK_,
+                        "gradient count mismatch in gate backward");
+        Tensor d_scores({n, wg_.size(1)});
+        for (int64_t t = 0; t < n; ++t) {
+            for (int j = 0; j < topK_; ++j) {
+                float sg = sigmoidScalar(selected_.at(t, j));
+                d_scores.at(t, topIdx_[t * topK_ + j]) =
+                    d_weights[t * topK_ + j] * sg * (1.0f - sg);
+            }
+        }
+        gemm(x_, Trans::Yes, d_scores, Trans::No, dWg_, 1.0f, 1.0f);
+        return matmul(d_scores, wg_, Trans::No, Trans::Yes);
+    }
+
+    std::vector<Tensor *> params() override { return {&wg_}; }
+    std::vector<Tensor *> grads() override { return {&dWg_}; }
+
+  private:
+    int topK_;
+    Tensor wg_, dWg_;
+    Tensor x_, scores_, selected_;
+    std::vector<int64_t> topIdx_;
+};
+
+/**
+ * X-MoE gate [6]: a low-rank projection z = I*Wproj decouples tokens
+ * from the expert embeddings Wg; scores are cosine similarities
+ * s = cos(z, Wg) sharpened by a fixed temperature, then routed with
+ * top-k softmax like GShard.
+ */
+class XMoeGate : public GateBase
+{
+  public:
+    XMoeGate(int64_t embed, int num_experts, int top_k, Rng &rng)
+        : topK_(top_k),
+          projDim_(std::max<int64_t>(8, embed / 32)),
+          wproj_(rng.normalTensor({embed, projDim_}, 0.0f, kInitStd)),
+          wg_(rng.normalTensor({static_cast<int64_t>(num_experts),
+                                projDim_},
+                               0.0f, 1.0f)),
+          dWproj_({embed, projDim_}),
+          dWg_({static_cast<int64_t>(num_experts), projDim_})
+    {
+    }
+
+    std::string name() const override { return "x-moe"; }
+
+    GateResult
+    forward(const Tensor &x) override
+    {
+        x_ = x;
+        z_ = matmul(x, wproj_);
+        cos_ = cosineScores(z_, wg_);
+        Tensor logits = cos_;
+        logits.scale_(1.0f / kTemperature);
+        TopK top = topkRows(logits, topK_);
+        topIdx_ = top.indices;
+        probs_ = softmaxRows(top.values);
+
+        const int64_t n = x.size(0);
+        GateResult result;
+        result.assignments.reserve(n * topK_);
+        for (int64_t t = 0; t < n; ++t) {
+            for (int j = 0; j < topK_; ++j) {
+                result.assignments.push_back(
+                    {t, static_cast<int>(topIdx_[t * topK_ + j]),
+                     probs_.at(t, j)});
+            }
+        }
+        return result;
+    }
+
+    Tensor
+    backward(const std::vector<float> &d_weights) override
+    {
+        const int64_t n = x_.size(0);
+        const int64_t d = projDim_;
+        FSMOE_CHECK_ARG(static_cast<int64_t>(d_weights.size()) ==
+                            n * topK_,
+                        "gradient count mismatch in gate backward");
+        Tensor d_probs({n, topK_});
+        for (int64_t i = 0; i < n * topK_; ++i)
+            d_probs.flat(i) = d_weights[i];
+        Tensor d_vals = softmaxRowsBackward(probs_, d_probs);
+
+        Tensor dz({n, d});
+        for (int64_t t = 0; t < n; ++t) {
+            const float *zr = z_.data() + t * d;
+            float zn = 0.0f;
+            for (int64_t c = 0; c < d; ++c)
+                zn += zr[c] * zr[c];
+            zn = std::sqrt(std::max(zn, 1e-24f));
+            for (int j = 0; j < topK_; ++j) {
+                int e = static_cast<int>(topIdx_[t * topK_ + j]);
+                float ds = d_vals.at(t, j) / kTemperature;
+                if (ds == 0.0f)
+                    continue;
+                const float *wr = wg_.data() + e * d;
+                float wn = 0.0f;
+                for (int64_t c = 0; c < d; ++c)
+                    wn += wr[c] * wr[c];
+                wn = std::sqrt(std::max(wn, 1e-24f));
+                float cos = cos_.at(t, e);
+                float *dzr = dz.data() + t * d;
+                float *dwr = dWg_.data() + e * d;
+                for (int64_t c = 0; c < d; ++c) {
+                    float zh = zr[c] / zn;
+                    float wh = wr[c] / wn;
+                    dzr[c] += ds * (wh - cos * zh) / zn;
+                    dwr[c] += ds * (zh - cos * wh) / wn;
+                }
+            }
+        }
+        gemm(x_, Trans::Yes, dz, Trans::No, dWproj_, 1.0f, 1.0f);
+        return matmul(dz, wproj_, Trans::No, Trans::Yes);
+    }
+
+    std::vector<Tensor *> params() override { return {&wproj_, &wg_}; }
+    std::vector<Tensor *> grads() override { return {&dWproj_, &dWg_}; }
+
+  private:
+    static constexpr float kTemperature = 0.3f;
+    int topK_;
+    int64_t projDim_;
+    Tensor wproj_, wg_, dWproj_, dWg_;
+    Tensor x_, z_, cos_, probs_;
+    std::vector<int64_t> topIdx_;
+};
+
+/**
+ * Expert-choice gate [51]: G = Softmax over experts of I*Wg, then each
+ * expert independently selects its top-C tokens, C = n*k/E. Tokens may
+ * be picked by several experts or by none.
+ */
+class ExpertChoiceGate : public GateBase
+{
+  public:
+    ExpertChoiceGate(int64_t embed, int num_experts, int top_k, Rng &rng)
+        : numExperts_(num_experts), topK_(top_k),
+          wg_(rng.normalTensor({embed, num_experts}, 0.0f, kInitStd)),
+          dWg_({embed, num_experts})
+    {
+    }
+
+    std::string name() const override { return "expert-choice"; }
+
+    GateResult
+    forward(const Tensor &x) override
+    {
+        x_ = x;
+        const int64_t n = x.size(0);
+        probs_ = softmaxRows(matmul(x, wg_));
+        const int64_t cap = std::max<int64_t>(
+            1, n * topK_ / numExperts_);
+
+        // Transpose scores so top-k runs per expert over tokens.
+        Tensor scores_t({static_cast<int64_t>(numExperts_), n});
+        for (int64_t t = 0; t < n; ++t)
+            for (int e = 0; e < numExperts_; ++e)
+                scores_t.at(e, t) = probs_.at(t, e);
+        TopK top = topkRows(scores_t, static_cast<int>(cap));
+
+        GateResult result;
+        result.assignments.reserve(numExperts_ * cap);
+        selection_.clear();
+        for (int e = 0; e < numExperts_; ++e) {
+            for (int64_t j = 0; j < cap; ++j) {
+                int64_t t = top.indices[e * cap + j];
+                result.assignments.push_back(
+                    {t, e, probs_.at(t, e)});
+                selection_.push_back({t, e});
+            }
+        }
+        return result;
+    }
+
+    Tensor
+    backward(const std::vector<float> &d_weights) override
+    {
+        const int64_t n = x_.size(0);
+        FSMOE_CHECK_ARG(d_weights.size() == selection_.size(),
+                        "gradient count mismatch in gate backward");
+        Tensor d_probs({n, static_cast<int64_t>(numExperts_)});
+        for (size_t i = 0; i < selection_.size(); ++i)
+            d_probs.at(selection_[i].first, selection_[i].second) +=
+                d_weights[i];
+        Tensor d_logits = softmaxRowsBackward(probs_, d_probs);
+        gemm(x_, Trans::Yes, d_logits, Trans::No, dWg_, 1.0f, 1.0f);
+        return matmul(d_logits, wg_, Trans::No, Trans::Yes);
+    }
+
+    std::vector<Tensor *> params() override { return {&wg_}; }
+    std::vector<Tensor *> grads() override { return {&dWg_}; }
+
+  private:
+    int numExperts_;
+    int topK_;
+    Tensor wg_, dWg_;
+    Tensor x_, probs_;
+    std::vector<std::pair<int64_t, int>> selection_;
+};
+
+} // namespace
+
+AuxLossResult
+loadBalanceLoss(const GateResult &routing, int num_experts,
+                int64_t num_tokens, double scale)
+{
+    FSMOE_CHECK_ARG(num_experts >= 1 && num_tokens >= 1,
+                    "degenerate aux-loss inputs");
+    const double n_assign =
+        static_cast<double>(routing.assignments.size());
+    std::vector<double> count(num_experts, 0.0), mass(num_experts, 0.0);
+    for (const Assignment &a : routing.assignments) {
+        count[a.expert] += 1.0;
+        mass[a.expert] += a.weight;
+    }
+    AuxLossResult result;
+    result.dWeights.assign(routing.assignments.size(), 0.0f);
+    // f_e = count_e / total assignments, P_e = mass_e / tokens.
+    for (int e = 0; e < num_experts; ++e) {
+        double f = count[e] / std::max(n_assign, 1.0);
+        double p = mass[e] / static_cast<double>(num_tokens);
+        result.loss += scale * num_experts * f * p;
+    }
+    for (size_t i = 0; i < routing.assignments.size(); ++i) {
+        int e = routing.assignments[i].expert;
+        double f = count[e] / std::max(n_assign, 1.0);
+        result.dWeights[i] = static_cast<float>(
+            scale * num_experts * f / static_cast<double>(num_tokens));
+    }
+    return result;
+}
+
+std::unique_ptr<GateBase>
+makeGate(GateKind kind, int64_t embed, int num_experts, int top_k, Rng &rng)
+{
+    FSMOE_CHECK_ARG(top_k >= 1 && top_k <= num_experts,
+                    "top-k must lie in [1, E]");
+    switch (kind) {
+      case GateKind::GShard:
+        return std::make_unique<GShardGate>(embed, num_experts, top_k, rng);
+      case GateKind::Sigmoid:
+        return std::make_unique<SigmoidGate>(embed, num_experts, top_k,
+                                             rng);
+      case GateKind::XMoe:
+        return std::make_unique<XMoeGate>(embed, num_experts, top_k, rng);
+      case GateKind::ExpertChoice:
+        return std::make_unique<ExpertChoiceGate>(embed, num_experts, top_k,
+                                                  rng);
+      default:
+        FSMOE_PANIC("unknown gate kind");
+    }
+}
+
+} // namespace fsmoe::core

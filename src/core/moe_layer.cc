@@ -1,0 +1,342 @@
+#include "core/moe_layer.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace fsmoe::core {
+
+MoeLayer::MoeLayer(const MoeLayerOptions &options)
+    : options_(options), layout_(options.numEp, options.numEsp),
+      comm_(layout_.worldSize()), order_(options.order)
+{
+    FSMOE_CHECK_ARG(options.numExperts % options.numEp == 0,
+                    "E = ", options.numExperts,
+                    " must be divisible by numEp = ", options.numEp);
+    FSMOE_CHECK_ARG(options.hidden % options.numEsp == 0,
+                    "H = ", options.hidden,
+                    " must be divisible by numEsp = ", options.numEsp);
+    const int world = layout_.worldSize();
+    const int e_loc = options.numExperts / options.numEp;
+
+    // Replicated gates: identical weights on every rank by seeding
+    // each construction identically.
+    gates_.reserve(world);
+    for (int r = 0; r < world; ++r) {
+        Rng gate_rng(options.seed);
+        gates_.push_back(makeGate(options.gate, options.embed,
+                                  options.numExperts, options.topK,
+                                  gate_rng));
+    }
+
+    // Experts: global expert e is generated from seed+e so any layout
+    // (including the single-rank reference) builds the same weights,
+    // then sharded across the rank's ESP position.
+    experts_.resize(world);
+    for (int r = 0; r < world; ++r) {
+        const int ep = layout_.epOf(r);
+        const int esp = layout_.espOf(r);
+        experts_[r].reserve(e_loc);
+        for (int j = 0; j < e_loc; ++j) {
+            const int global = ep * e_loc + j;
+            Rng expert_rng(options.seed + 1000 + global);
+            auto full = makeExpert(options.ffn, options.embed,
+                                   options.hidden, expert_rng);
+            experts_[r].push_back(full->shard(esp, options.numEsp));
+        }
+    }
+    maps_.resize(world);
+    expertOut_.resize(world);
+}
+
+void
+MoeLayer::addCallback(std::shared_ptr<CallbackBase> callback)
+{
+    FSMOE_CHECK_ARG(callback != nullptr, "null callback");
+    callbacks_.push_back(std::move(callback));
+}
+
+void
+MoeLayer::runHooks(HookPoint point, std::vector<Tensor> &payloads)
+{
+    for (auto &cb : callbacks_) {
+        for (int r = 0; r < layout_.worldSize(); ++r) {
+            HookContext ctx{point, r, &payloads[r]};
+            switch (point) {
+              case HookPoint::BeforeMoeStart: cb->beforeMoeStart(ctx); break;
+              case HookPoint::BeforeDispatch: cb->beforeDispatch(ctx); break;
+              case HookPoint::AfterDispatch: cb->afterDispatch(ctx); break;
+              case HookPoint::BeforeCombine: cb->beforeCombine(ctx); break;
+              case HookPoint::AfterCombine: cb->afterCombine(ctx); break;
+              case HookPoint::BeforeMoeEnd: cb->beforeMoeEnd(ctx); break;
+            }
+        }
+    }
+}
+
+int64_t
+MoeLayer::capacity(int64_t tokens_per_rank) const
+{
+    if (options_.capacityFactor <= 0.0)
+        return tokens_per_rank; // no-drop: an expert can take any token
+                                // at most once per top-k selection
+    double t = options_.capacityFactor * options_.topK *
+               static_cast<double>(tokens_per_rank) / options_.numExperts;
+    return std::max<int64_t>(1, static_cast<int64_t>(std::ceil(t)));
+}
+
+int64_t
+MoeLayer::dropped(int rank) const
+{
+    return maps_.at(rank).droppedCount();
+}
+
+ExpertBase &
+MoeLayer::expertShard(int rank, int j)
+{
+    return *experts_.at(rank).at(j);
+}
+
+std::vector<Tensor>
+MoeLayer::forward(const std::vector<Tensor> &xs)
+{
+    const int world = layout_.worldSize();
+    FSMOE_CHECK_ARG(static_cast<int>(xs.size()) == world,
+                    "need one input tensor per rank");
+    const int64_t n = xs[0].size(0);
+    for (const Tensor &x : xs) {
+        FSMOE_CHECK_ARG(x.dim() == 2 && x.size(0) == n &&
+                            x.size(1) == options_.embed,
+                        "rank inputs must all be (n, M)");
+    }
+    lastTokens_ = n;
+    const int64_t cap = capacity(n);
+    const int e_loc = options_.numExperts / options_.numEp;
+
+    std::vector<Tensor> bufs = xs;
+    runHooks(HookPoint::BeforeMoeStart, bufs);
+
+    // Gate + order on every rank, with the optional load-balancing
+    // auxiliary loss computed from the routing decision.
+    aux_.assign(world, AuxLossResult{});
+    lastAuxLoss_ = 0.0;
+    for (int r = 0; r < world; ++r) {
+        GateResult routing = gates_[r]->forward(bufs[r]);
+        if (options_.auxLossScale > 0.0) {
+            aux_[r] = loadBalanceLoss(routing, options_.numExperts, n,
+                                      options_.auxLossScale);
+            lastAuxLoss_ += aux_[r].loss;
+        }
+        bufs[r] = order_.forward(bufs[r], routing, options_.numExperts,
+                                 cap, maps_[r]);
+    }
+
+    runHooks(HookPoint::BeforeDispatch, bufs);
+    // AlltoAll dispatch across each EP group.
+    for (int esp = 0; esp < options_.numEsp; ++esp)
+        comm_.allToAll(bufs, layout_.epGroup(esp), options_.a2a);
+    runHooks(HookPoint::AfterDispatch, bufs);
+
+    // ESP-AllGather within each node so every shard sees all tokens.
+    for (int ep = 0; ep < options_.numEp; ++ep)
+        comm_.allGather(bufs, layout_.espGroup(ep));
+
+    // Sharded expert computation. The gathered buffer on each rank is
+    // (numEsp, numEp, e_loc, T, M) flattened along dim 0.
+    for (int r = 0; r < world; ++r) {
+        const int64_t m = options_.embed;
+        const int64_t rows_in = cap * layout_.numEsp() * layout_.numEp();
+        Tensor out(bufs[r].shape());
+        for (int j = 0; j < e_loc; ++j) {
+            Tensor xin({rows_in, m});
+            int64_t dst = 0;
+            for (int s = 0; s < layout_.numEsp(); ++s) {
+                for (int p = 0; p < layout_.numEp(); ++p) {
+                    int64_t block = ((static_cast<int64_t>(s) *
+                                          layout_.numEp() + p) * e_loc + j) *
+                                    cap;
+                    std::copy(bufs[r].data() + block * m,
+                              bufs[r].data() + (block + cap) * m,
+                              xin.data() + dst * m);
+                    dst += cap;
+                }
+            }
+            Tensor y = experts_[r][j]->forward(xin);
+            int64_t src = 0;
+            for (int s = 0; s < layout_.numEsp(); ++s) {
+                for (int p = 0; p < layout_.numEp(); ++p) {
+                    int64_t block = ((static_cast<int64_t>(s) *
+                                          layout_.numEp() + p) * e_loc + j) *
+                                    cap;
+                    std::copy(y.data() + src * m,
+                              y.data() + (src + cap) * m,
+                              out.data() + block * m);
+                    src += cap;
+                }
+            }
+        }
+        bufs[r] = std::move(out);
+    }
+
+    // ESP-ReduceScatter sums shard partials and splits tokens back.
+    for (int ep = 0; ep < options_.numEp; ++ep)
+        comm_.reduceScatter(bufs, layout_.espGroup(ep));
+
+    runHooks(HookPoint::BeforeCombine, bufs);
+    // AlltoAll combine returns tokens to their source ranks.
+    for (int esp = 0; esp < options_.numEsp; ++esp)
+        comm_.allToAll(bufs, layout_.epGroup(esp), options_.a2a);
+    runHooks(HookPoint::AfterCombine, bufs);
+
+    // I-order: weighted combine back to token space.
+    std::vector<Tensor> outs(world);
+    for (int r = 0; r < world; ++r) {
+        expertOut_[r] = bufs[r].reshape(
+            {options_.numExperts, cap, options_.embed});
+        outs[r] = order_.combine(expertOut_[r], maps_[r]);
+    }
+    runHooks(HookPoint::BeforeMoeEnd, outs);
+    return outs;
+}
+
+std::vector<Tensor>
+MoeLayer::backward(const std::vector<Tensor> &d_out)
+{
+    const int world = layout_.worldSize();
+    FSMOE_CHECK_ARG(static_cast<int>(d_out.size()) == world,
+                    "need one gradient tensor per rank");
+    FSMOE_CHECK_ARG(lastTokens_ > 0, "backward before forward");
+    const int64_t cap = capacity(lastTokens_);
+    const int e_loc = options_.numExperts / options_.numEp;
+    const int64_t m = options_.embed;
+
+    // I-order backward: gradients w.r.t. expert outputs and gate
+    // combine weights.
+    std::vector<Tensor> bufs(world);
+    std::vector<std::vector<float>> d_weights(world);
+    for (int r = 0; r < world; ++r) {
+        Tensor d_expert_out;
+        order_.combineBackward(d_out[r], expertOut_[r], maps_[r],
+                               d_expert_out, d_weights[r]);
+        bufs[r] = std::move(d_expert_out);
+    }
+
+    // Adjoint of the combine AlltoAll is an AlltoAll.
+    for (int esp = 0; esp < options_.numEsp; ++esp)
+        comm_.allToAll(bufs, layout_.epGroup(esp), options_.a2a);
+
+    // Adjoint of ESP-ReduceScatter is ESP-AllGather.
+    for (int ep = 0; ep < options_.numEp; ++ep)
+        comm_.allGather(bufs, layout_.espGroup(ep));
+
+    // Expert backward on the gathered gradient rows.
+    const int64_t rows_in = cap * layout_.numEsp() * layout_.numEp();
+    for (int r = 0; r < world; ++r) {
+        Tensor d_gathered(bufs[r].shape());
+        for (int j = 0; j < e_loc; ++j) {
+            Tensor dy({rows_in, m});
+            int64_t dst = 0;
+            for (int s = 0; s < layout_.numEsp(); ++s) {
+                for (int p = 0; p < layout_.numEp(); ++p) {
+                    int64_t block = ((static_cast<int64_t>(s) *
+                                          layout_.numEp() + p) * e_loc + j) *
+                                    cap;
+                    std::copy(bufs[r].data() + block * m,
+                              bufs[r].data() + (block + cap) * m,
+                              dy.data() + dst * m);
+                    dst += cap;
+                }
+            }
+            Tensor dxin = experts_[r][j]->backward(dy);
+            int64_t src = 0;
+            for (int s = 0; s < layout_.numEsp(); ++s) {
+                for (int p = 0; p < layout_.numEp(); ++p) {
+                    int64_t block = ((static_cast<int64_t>(s) *
+                                          layout_.numEp() + p) * e_loc + j) *
+                                    cap;
+                    std::copy(dxin.data() + src * m,
+                              dxin.data() + (src + cap) * m,
+                              d_gathered.data() + block * m);
+                    src += cap;
+                }
+            }
+        }
+        bufs[r] = std::move(d_gathered);
+    }
+
+    // Adjoint of ESP-AllGather is ESP-ReduceScatter.
+    for (int ep = 0; ep < options_.numEp; ++ep)
+        comm_.reduceScatter(bufs, layout_.espGroup(ep));
+
+    // Adjoint of the dispatch AlltoAll is an AlltoAll.
+    for (int esp = 0; esp < options_.numEsp; ++esp)
+        comm_.allToAll(bufs, layout_.epGroup(esp), options_.a2a);
+
+    // Order backward (token gather) plus the gate's routing gradient,
+    // with the auxiliary-loss gradient folded into the combine-weight
+    // gradients.
+    std::vector<Tensor> dxs(world);
+    for (int r = 0; r < world; ++r) {
+        Tensor d_disp = bufs[r].reshape({options_.numExperts, cap, m});
+        dxs[r] = order_.backward(d_disp, maps_[r]);
+        if (!aux_[r].dWeights.empty()) {
+            FSMOE_ASSERT(aux_[r].dWeights.size() == d_weights[r].size(),
+                         "aux gradient misaligned with assignments");
+            for (size_t i = 0; i < d_weights[r].size(); ++i)
+                d_weights[r][i] += aux_[r].dWeights[i];
+        }
+        dxs[r].add_(gates_[r]->backward(d_weights[r]));
+    }
+    return dxs;
+}
+
+void
+MoeLayer::zeroGrad()
+{
+    for (auto &g : gates_)
+        g->zeroGrad();
+    for (auto &rank_experts : experts_)
+        for (auto &e : rank_experts)
+            e->zeroGrad();
+}
+
+void
+MoeLayer::syncReplicatedGrads()
+{
+    const int world = layout_.worldSize();
+    if (world == 1)
+        return;
+    const size_t num_params = gates_[0]->grads().size();
+    dist::Group everyone = layout_.worldGroup();
+    for (size_t pi = 0; pi < num_params; ++pi) {
+        std::vector<Tensor> bufs(world);
+        for (int r = 0; r < world; ++r)
+            bufs[r] = *gates_[r]->grads()[pi];
+        comm_.allReduce(bufs, everyone);
+        for (int r = 0; r < world; ++r) {
+            bufs[r].scale_(1.0f / world);
+            *gates_[r]->grads()[pi] = bufs[r];
+        }
+    }
+}
+
+void
+MoeLayer::sgdStep(float lr)
+{
+    auto update = [lr](std::vector<Tensor *> params,
+                       std::vector<Tensor *> grads) {
+        for (size_t i = 0; i < params.size(); ++i) {
+            Tensor *p = params[i];
+            const Tensor *g = grads[i];
+            for (int64_t j = 0; j < p->numel(); ++j)
+                p->flat(j) -= lr * g->flat(j);
+        }
+    };
+    for (auto &g : gates_)
+        update(g->params(), g->grads());
+    for (auto &rank_experts : experts_)
+        for (auto &e : rank_experts)
+            update(e->params(), e->grads());
+}
+
+} // namespace fsmoe::core

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The modular MoE layer (paper §3): Gate + Order/I-Order + Dispatch/
+ * Combine + Expert, composed over the DP+MP+EP+ESP layout of Fig. 2,
+ * with non-invasive hooks at the six points of §3.1.
+ *
+ * The layer orchestrates all P = numEp * numEsp ranks inside one
+ * process (see dist::Communicator): forward runs gate -> order ->
+ * AlltoAll dispatch -> ESP-AllGather -> sharded experts ->
+ * ESP-ReduceScatter -> AlltoAll combine -> I-order on every rank, and
+ * backward replays the exact adjoint chain, so distributed and
+ * single-rank executions are numerically identical (a property the
+ * test suite asserts token-by-token).
+ */
+#ifndef FSMOE_CORE_MOE_LAYER_H
+#define FSMOE_CORE_MOE_LAYER_H
+
+#include <memory>
+#include <vector>
+
+#include "core/expert.h"
+#include "core/gate.h"
+#include "core/order.h"
+#include "dist/communicator.h"
+#include "tensor/tensor.h"
+
+namespace fsmoe::core {
+
+/** Where a hook fires (paper §3.1 "Hooks"). */
+enum class HookPoint
+{
+    BeforeMoeStart,
+    BeforeDispatch,
+    AfterDispatch,
+    BeforeCombine,
+    AfterCombine,
+    BeforeMoeEnd
+};
+
+/** Context handed to callbacks; payload is mutable in place. */
+struct HookContext
+{
+    HookPoint point;
+    int rank = 0;
+    /// The rank's buffer at this point: tokens (n, M) at start/end,
+    /// the dispatch layout (E, T, M) around dispatch/combine.
+    Tensor *payload = nullptr;
+};
+
+/**
+ * Non-invasive extension interface (the paper's CallbackBase,
+ * Listing 1). Override only the hooks you need; e.g. a communication
+ * compressor would compress in beforeDispatch and decompress in
+ * afterDispatch.
+ */
+class CallbackBase
+{
+  public:
+    virtual ~CallbackBase() = default;
+    virtual void beforeMoeStart(HookContext &) {}
+    virtual void beforeDispatch(HookContext &) {}
+    virtual void afterDispatch(HookContext &) {}
+    virtual void beforeCombine(HookContext &) {}
+    virtual void afterCombine(HookContext &) {}
+    virtual void beforeMoeEnd(HookContext &) {}
+};
+
+/** Everything needed to build a MoeLayer. */
+struct MoeLayerOptions
+{
+    int64_t embed = 64;       ///< M.
+    int64_t hidden = 128;     ///< H (full, pre-sharding).
+    int numExperts = 4;       ///< E; must divide by numEp.
+    int topK = 2;             ///< k.
+    double capacityFactor = 1.2; ///< f; <= 0 disables token dropping.
+    FfnType ffn = FfnType::Simple;
+    GateKind gate = GateKind::GShard;
+    OrderKind order = OrderKind::TutelSparse;
+    dist::A2aAlgo a2a = dist::A2aAlgo::NcclDirect;
+    int numEp = 1;  ///< EP group size (ranks holding distinct experts).
+    int numEsp = 1; ///< ESP group size (shards per expert).
+    uint64_t seed = 1234; ///< Weight initialisation seed. Two layers
+                          ///< built with equal seed/shape have equal
+                          ///< weights regardless of parallel layout.
+    double auxLossScale = 0.0; ///< >0 adds the GShard load-balancing
+                               ///< loss; its gradient is folded into
+                               ///< the gate backward automatically.
+};
+
+/**
+ * The distributed MoE layer. Buffers are vectors indexed by global
+ * rank; each rank's input is its (tokensPerRank, M) slice.
+ */
+class MoeLayer
+{
+  public:
+    explicit MoeLayer(const MoeLayerOptions &options);
+
+    const MoeLayerOptions &options() const { return options_; }
+    int worldSize() const { return layout_.worldSize(); }
+
+    /** Register a hook callback (shared across ranks). */
+    void addCallback(std::shared_ptr<CallbackBase> callback);
+
+    /**
+     * Forward pass on all ranks.
+     *
+     * @param xs  Per-rank token tensors, all of one shape (n, M).
+     * @return    Per-rank outputs of the same shape.
+     */
+    std::vector<Tensor> forward(const std::vector<Tensor> &xs);
+
+    /**
+     * Backward pass; must follow a forward.
+     *
+     * @param d_out  Per-rank gradients w.r.t. the forward outputs.
+     * @return       Per-rank gradients w.r.t. the forward inputs.
+     */
+    std::vector<Tensor> backward(const std::vector<Tensor> &d_out);
+
+    /** Zero every parameter gradient on every rank. */
+    void zeroGrad();
+
+    /**
+     * Average the replicated gate gradients across ranks (the MoE
+     * analogue of Gradient-AllReduce; expert shards are unique per
+     * rank and need no synchronisation in this layout).
+     */
+    void syncReplicatedGrads();
+
+    /** Plain SGD update on all parameters of all ranks. */
+    void sgdStep(float lr);
+
+    /** Per-expert slot capacity T for @p tokens_per_rank inputs. */
+    int64_t capacity(int64_t tokens_per_rank) const;
+
+    /** Assignments dropped on @p rank in the last forward. */
+    int64_t dropped(int rank) const;
+
+    /** The gate instance of @p rank (e.g. to enable GShard noise). */
+    GateBase &gate(int rank) { return *gates_.at(rank); }
+
+    /** Shard of local expert @p j held by @p rank. */
+    ExpertBase &expertShard(int rank, int j);
+
+    /** Load-balancing loss summed across ranks in the last forward
+     *  (0 unless auxLossScale > 0). */
+    double lastAuxLoss() const { return lastAuxLoss_; }
+
+  private:
+    void runHooks(HookPoint point, std::vector<Tensor> &payloads);
+
+    MoeLayerOptions options_;
+    dist::ParallelLayout layout_;
+    dist::Communicator comm_;
+    Order order_;
+    std::vector<std::unique_ptr<GateBase>> gates_;      // per rank
+    /// experts_[rank][j]: shard of global expert epOf(rank)*Eloc + j.
+    std::vector<std::vector<std::unique_ptr<ExpertBase>>> experts_;
+    std::vector<std::shared_ptr<CallbackBase>> callbacks_;
+
+    // Forward caches (per rank).
+    std::vector<OrderMap> maps_;
+    std::vector<Tensor> expertOut_; ///< Combined (E, T, M) per rank.
+    std::vector<AuxLossResult> aux_; ///< Per-rank aux-loss gradients.
+    double lastAuxLoss_ = 0.0;
+    int64_t lastTokens_ = 0;
+};
+
+} // namespace fsmoe::core
+
+#endif // FSMOE_CORE_MOE_LAYER_H

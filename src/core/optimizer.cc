@@ -1,0 +1,62 @@
+#include "core/optimizer.h"
+
+#include <cmath>
+
+namespace fsmoe::core {
+
+void
+SgdOptimizer::onAdd(const Tensor &param)
+{
+    if (momentum_ > 0.0f)
+        velocity_.push_back(Tensor(param.shape()));
+}
+
+void
+SgdOptimizer::step()
+{
+    for (size_t i = 0; i < params_.size(); ++i) {
+        Tensor *p = params_[i];
+        const Tensor *g = grads_[i];
+        if (momentum_ > 0.0f) {
+            Tensor &vel = velocity_[i];
+            for (int64_t j = 0; j < p->numel(); ++j) {
+                vel.flat(j) = momentum_ * vel.flat(j) + g->flat(j);
+                p->flat(j) -= lr_ * vel.flat(j);
+            }
+        } else {
+            for (int64_t j = 0; j < p->numel(); ++j)
+                p->flat(j) -= lr_ * g->flat(j);
+        }
+    }
+}
+
+void
+AdamOptimizer::onAdd(const Tensor &param)
+{
+    m_.push_back(Tensor(param.shape()));
+    v_.push_back(Tensor(param.shape()));
+}
+
+void
+AdamOptimizer::step()
+{
+    t_++;
+    const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (size_t i = 0; i < params_.size(); ++i) {
+        Tensor *p = params_[i];
+        const Tensor *g = grads_[i];
+        Tensor &m = m_[i];
+        Tensor &v = v_[i];
+        for (int64_t j = 0; j < p->numel(); ++j) {
+            const float gj = g->flat(j);
+            m.flat(j) = beta1_ * m.flat(j) + (1.0f - beta1_) * gj;
+            v.flat(j) = beta2_ * v.flat(j) + (1.0f - beta2_) * gj * gj;
+            const float mh = m.flat(j) / bc1;
+            const float vh = v.flat(j) / bc2;
+            p->flat(j) -= lr_ * mh / (std::sqrt(vh) + eps_);
+        }
+    }
+}
+
+} // namespace fsmoe::core

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Optimizers for the functional training path: plain SGD with optional
+ * momentum, and Adam. Both operate on (param, grad) tensor pairs
+ * collected from gates, experts, attention and layer norms, so a
+ * whole transformer-MoE block trains with one optimizer instance.
+ */
+#ifndef FSMOE_CORE_OPTIMIZER_H
+#define FSMOE_CORE_OPTIMIZER_H
+
+#include <memory>
+#include <vector>
+
+#include "base/logging.h"
+#include "tensor/tensor.h"
+
+namespace fsmoe::core {
+
+/** Abstract optimizer over registered parameter/gradient pairs. */
+class OptimizerBase
+{
+  public:
+    virtual ~OptimizerBase() = default;
+
+    /** Register a parameter and its gradient buffer. */
+    void
+    add(Tensor *param, Tensor *grad)
+    {
+        FSMOE_CHECK_ARG(param && grad && param->sameShape(*grad),
+                        "optimizer parameter/gradient mismatch");
+        params_.push_back(param);
+        grads_.push_back(grad);
+        onAdd(*param);
+    }
+
+    /** Register parallel vectors of params and grads. */
+    void
+    addAll(std::vector<Tensor *> params, std::vector<Tensor *> grads)
+    {
+        FSMOE_CHECK_ARG(params.size() == grads.size(),
+                        "optimizer parameter/gradient count mismatch");
+        for (size_t i = 0; i < params.size(); ++i)
+            add(params[i], grads[i]);
+    }
+
+    /** Apply one update step using the current gradients. */
+    virtual void step() = 0;
+
+    /** Zero every registered gradient. */
+    void
+    zeroGrad()
+    {
+        for (Tensor *g : grads_)
+            g->fill(0.0f);
+    }
+
+    size_t numParams() const { return params_.size(); }
+
+  protected:
+    virtual void onAdd(const Tensor &) {}
+
+    std::vector<Tensor *> params_;
+    std::vector<Tensor *> grads_;
+};
+
+/** SGD with optional momentum. */
+class SgdOptimizer : public OptimizerBase
+{
+  public:
+    explicit SgdOptimizer(float lr, float momentum = 0.0f)
+        : lr_(lr), momentum_(momentum)
+    {
+    }
+
+    void step() override;
+
+  protected:
+    void onAdd(const Tensor &param) override;
+
+  private:
+    float lr_;
+    float momentum_;
+    std::vector<Tensor> velocity_;
+};
+
+/** Adam (Kingma & Ba) with bias correction. */
+class AdamOptimizer : public OptimizerBase
+{
+  public:
+    explicit AdamOptimizer(float lr, float beta1 = 0.9f,
+                           float beta2 = 0.999f, float eps = 1e-8f)
+        : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps)
+    {
+    }
+
+    void step() override;
+
+  protected:
+    void onAdd(const Tensor &param) override;
+
+  private:
+    float lr_, beta1_, beta2_, eps_;
+    int64_t t_ = 0;
+    std::vector<Tensor> m_, v_;
+};
+
+} // namespace fsmoe::core
+
+#endif // FSMOE_CORE_OPTIMIZER_H

@@ -1,0 +1,153 @@
+#include "core/order.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "tensor/gemm.h"
+
+namespace fsmoe::core {
+
+int64_t
+OrderMap::droppedCount() const
+{
+    int64_t dropped = 0;
+    for (int64_t s : assignmentSlot)
+        if (s < 0)
+            dropped++;
+    return dropped;
+}
+
+Tensor
+Order::forward(const Tensor &x, const GateResult &routing,
+               int64_t num_experts, int64_t capacity, OrderMap &map) const
+{
+    FSMOE_CHECK_ARG(x.dim() == 2, "order expects (n, M) tokens");
+    FSMOE_CHECK_ARG(num_experts >= 1 && capacity >= 1,
+                    "order needs positive E and T");
+    const int64_t n = x.size(0);
+    const int64_t m = x.size(1);
+
+    map.numExperts = num_experts;
+    map.capacity = capacity;
+    map.numTokens = n;
+    map.slotToken.assign(num_experts * capacity, -1);
+    map.slotWeight.assign(num_experts * capacity, 0.0f);
+    map.assignmentSlot.assign(routing.assignments.size(), -1);
+
+    // First-come-first-served slot grant, as in GShard's cumsum-based
+    // position assignment.
+    std::vector<int64_t> fill(num_experts, 0);
+    for (size_t i = 0; i < routing.assignments.size(); ++i) {
+        const Assignment &a = routing.assignments[i];
+        FSMOE_CHECK_ARG(a.expert >= 0 && a.expert < num_experts,
+                        "assignment to unknown expert ", a.expert);
+        FSMOE_CHECK_ARG(a.token >= 0 && a.token < n,
+                        "assignment of unknown token ", a.token);
+        if (fill[a.expert] >= capacity)
+            continue; // dropped by capacity factor
+        int64_t slot = a.expert * capacity + fill[a.expert]++;
+        map.assignmentSlot[i] = slot;
+        map.slotToken[slot] = a.token;
+        map.slotWeight[slot] = a.weight;
+    }
+
+    Tensor out({num_experts, capacity, m});
+    if (kind_ == OrderKind::TutelSparse) {
+        // SIMT-style scatter: one row copy per occupied slot.
+        for (int64_t s = 0; s < num_experts * capacity; ++s) {
+            int64_t t = map.slotToken[s];
+            if (t < 0)
+                continue;
+            std::copy(x.data() + t * m, x.data() + (t + 1) * m,
+                      out.data() + s * m);
+        }
+    } else {
+        // GShard einsum: dispatched = mask^T * x with a dense one-hot
+        // mask of shape (n, E*T).
+        Tensor mask({n, num_experts * capacity});
+        for (int64_t s = 0; s < num_experts * capacity; ++s) {
+            int64_t t = map.slotToken[s];
+            if (t >= 0)
+                mask.at(t, s) = 1.0f;
+        }
+        Tensor flat({num_experts * capacity, m});
+        gemm(mask, Trans::Yes, x, Trans::No, flat);
+        out = flat.reshape({num_experts, capacity, m});
+    }
+    return out;
+}
+
+Tensor
+Order::backward(const Tensor &d_dispatched, const OrderMap &map) const
+{
+    FSMOE_CHECK_ARG(d_dispatched.dim() == 3,
+                    "order backward expects (E, T, M)");
+    const int64_t m = d_dispatched.size(2);
+    Tensor dx({map.numTokens, m});
+    for (int64_t s = 0; s < map.numExperts * map.capacity; ++s) {
+        int64_t t = map.slotToken[s];
+        if (t < 0)
+            continue;
+        const float *src = d_dispatched.data() + s * m;
+        float *dst = dx.data() + t * m;
+        for (int64_t c = 0; c < m; ++c)
+            dst[c] += src[c];
+    }
+    return dx;
+}
+
+Tensor
+Order::combine(const Tensor &expert_out, const OrderMap &map) const
+{
+    FSMOE_CHECK_ARG(expert_out.dim() == 3, "combine expects (E, T, M)");
+    const int64_t m = expert_out.size(2);
+    Tensor out({map.numTokens, m});
+    for (int64_t s = 0; s < map.numExperts * map.capacity; ++s) {
+        int64_t t = map.slotToken[s];
+        if (t < 0)
+            continue;
+        const float w = map.slotWeight[s];
+        const float *src = expert_out.data() + s * m;
+        float *dst = out.data() + t * m;
+        for (int64_t c = 0; c < m; ++c)
+            dst[c] += w * src[c];
+    }
+    return out;
+}
+
+void
+Order::combineBackward(const Tensor &d_out, const Tensor &expert_out,
+                       const OrderMap &map, Tensor &d_expert_out,
+                       std::vector<float> &d_weights) const
+{
+    FSMOE_CHECK_ARG(d_out.dim() == 2 && d_out.size(0) == map.numTokens,
+                    "combine backward expects (n, M) gradient");
+    const int64_t m = d_out.size(1);
+    d_expert_out = Tensor(expert_out.shape());
+    d_weights.assign(map.assignmentSlot.size(), 0.0f);
+
+    // Per-slot weight gradients, then scatter to assignment order.
+    std::vector<float> slot_dw(map.numExperts * map.capacity, 0.0f);
+    for (int64_t s = 0; s < map.numExperts * map.capacity; ++s) {
+        int64_t t = map.slotToken[s];
+        if (t < 0)
+            continue;
+        const float w = map.slotWeight[s];
+        const float *g = d_out.data() + t * m;
+        const float *y = expert_out.data() + s * m;
+        float *dy = d_expert_out.data() + s * m;
+        float dw = 0.0f;
+        for (int64_t c = 0; c < m; ++c) {
+            dy[c] = w * g[c];
+            dw += g[c] * y[c];
+        }
+        slot_dw[s] = dw;
+    }
+    for (size_t i = 0; i < map.assignmentSlot.size(); ++i) {
+        int64_t s = map.assignmentSlot[i];
+        if (s >= 0)
+            d_weights[i] = slot_dw[s];
+    }
+}
+
+} // namespace fsmoe::core

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Ordering and inverse-ordering — the Order/I-Order sub-modules (§3.1).
+ *
+ * The ordering function transforms token-major activations (n, M) into
+ * the expert-major dispatch layout (E, T, M), where T is the per-expert
+ * capacity; assignments beyond an expert's capacity are dropped (the
+ * capacity-factor f of Table 4). The inverse ordering combines expert
+ * outputs back into token space, scaling each contribution by its
+ * gate weight.
+ *
+ * Two construction kernels are provided, mirroring the paper:
+ *  - GShard ordering: builds a dense one-hot dispatch mask and applies
+ *    it with matrix multiplication (einsum style);
+ *  - Tutel ordering: SIMT-style sparse scatter/gather by index.
+ * Both produce identical layouts; the tests assert it.
+ */
+#ifndef FSMOE_CORE_ORDER_H
+#define FSMOE_CORE_ORDER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gate.h"
+#include "tensor/tensor.h"
+
+namespace fsmoe::core {
+
+/** Ordering kernel selector. */
+enum class OrderKind
+{
+    GShardEinsum, ///< Dense one-hot mask + GEMM.
+    TutelSparse   ///< Direct index scatter.
+};
+
+/**
+ * Slot bookkeeping produced by the forward ordering and consumed by
+ * the combine and both backward passes.
+ */
+struct OrderMap
+{
+    int64_t numExperts = 0;
+    int64_t capacity = 0; ///< T: slots per expert.
+    int64_t numTokens = 0;
+    /// Per (expert*T + slot): source token index, -1 for padding.
+    std::vector<int64_t> slotToken;
+    /// Per (expert*T + slot): the assignment's combine weight.
+    std::vector<float> slotWeight;
+    /// Per input assignment: its slot (expert*T + s), -1 if dropped.
+    std::vector<int64_t> assignmentSlot;
+
+    /** Number of assignments dropped by capacity. */
+    int64_t droppedCount() const;
+};
+
+/** The Order/I-Order operator pair. */
+class Order
+{
+  public:
+    explicit Order(OrderKind kind) : kind_(kind) {}
+
+    OrderKind orderKind() const { return kind_; }
+
+    /**
+     * Build the (E, T, M) dispatch tensor.
+     *
+     * @param x         Tokens (n, M).
+     * @param routing   Gate output.
+     * @param num_experts  E.
+     * @param capacity  T; slots are granted first-come-first-served in
+     *                  assignment order, matching GShard.
+     * @param map       Receives the slot bookkeeping.
+     */
+    Tensor forward(const Tensor &x, const GateResult &routing,
+                   int64_t num_experts, int64_t capacity,
+                   OrderMap &map) const;
+
+    /**
+     * Backward of forward: gather the dispatch-layout gradient back to
+     * token space (n, M). Dropped assignments contribute nothing.
+     */
+    Tensor backward(const Tensor &d_dispatched, const OrderMap &map) const;
+
+    /**
+     * I-Order: combine expert outputs (E, T, M) into tokens (n, M),
+     * scaling each slot by its gate weight. Tokens with no surviving
+     * assignment produce zeros.
+     */
+    Tensor combine(const Tensor &expert_out, const OrderMap &map) const;
+
+    /**
+     * Backward of combine.
+     *
+     * @param d_out        Gradient w.r.t. the combined tokens (n, M).
+     * @param expert_out   The forward combine's input (E, T, M).
+     * @param map          Slot bookkeeping.
+     * @param d_expert_out Receives the gradient w.r.t. expert outputs.
+     * @param d_weights    Receives the gradient w.r.t. each original
+     *                     assignment's combine weight (aligned with
+     *                     GateResult::assignments; dropped get zero).
+     */
+    void combineBackward(const Tensor &d_out, const Tensor &expert_out,
+                         const OrderMap &map, Tensor &d_expert_out,
+                         std::vector<float> &d_weights) const;
+
+  private:
+    OrderKind kind_;
+};
+
+} // namespace fsmoe::core
+
+#endif // FSMOE_CORE_ORDER_H

@@ -1,0 +1,235 @@
+#include "core/pipeline_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.h"
+#include "solver/minimize.h"
+
+namespace fsmoe::core {
+
+PipelineProblem
+makeProblem(const PerfModelSet &models, const Workload &w, Phase phase,
+            double t_gar, int r_max)
+{
+    const double bwd = phase == Phase::Backward ? 2.0 : 1.0;
+    PipelineProblem p;
+    p.a2a = {models.alltoall.alpha, models.alltoall.beta, w.a2aBytes};
+    p.ag = {models.allgather.alpha, models.allgather.beta, w.agBytes};
+    p.rs = {models.reducescatter.alpha, models.reducescatter.beta,
+            w.rsBytes};
+    // Expert startup scales with GEMM launches; backward doubles both
+    // the launch count and the MAC volume (input + weight gradients).
+    p.exp = {models.gemm.alpha * w.expertGemms * bwd, models.gemm.beta,
+             w.expertMacs * bwd};
+    p.tGar = phase == Phase::Backward ? t_gar : 0.0;
+    p.rMax = r_max;
+    return p;
+}
+
+CasePredicates
+evalPredicates(const PipelineProblem &p, double r)
+{
+    const double a2a = p.a2a.chunk(r);
+    const double ag = p.ag.chunk(r);
+    const double rs = p.rs.chunk(r);
+    const double exp = p.exp.chunk(r);
+    const double gar = p.tGar;
+
+    CasePredicates q;
+    q.q1 = a2a > ag;
+    q.q2 = r * exp > 2.0 * (r - 1.0) * a2a;
+    q.q3 = r * exp > (r - 1.0) * (ag + rs);
+    q.q4 = gar > ag + rs;
+    q.q5 = gar > r * exp - 2.0 * (r - 1.0) * a2a + ag + rs;
+    q.q6 = gar > r * ag + r * rs - 2.0 * (r - 1.0) * a2a;
+    q.q7 = gar > ag + rs + r * exp - 2.0 * (r - 1.0) * a2a;
+    return q;
+}
+
+int
+caseAt(const PipelineProblem &p, double r)
+{
+    const CasePredicates q = evalPredicates(p, r);
+    if (q.q1) {
+        if (q.q2)
+            return q.q5 ? 1 : 2;
+        return q.q4 ? 1 : 3;
+    }
+    if (q.q3)
+        return q.q7 ? 1 : 2;
+    return q.q6 ? 1 : 4;
+}
+
+double
+caseTime(const PipelineProblem &p, int case_id, double r)
+{
+    const double a2a = p.a2a.chunk(r);
+    const double ag = p.ag.chunk(r);
+    const double rs = p.rs.chunk(r);
+    const double exp = p.exp.chunk(r);
+    switch (case_id) {
+      case 1: // inter-node communication dominates (Eq. 2)
+        return 2.0 * r * a2a + p.tGar;
+      case 2: // expert computation dominates
+        return 2.0 * a2a + ag + rs + r * exp;
+      case 3: // AlltoAll dominates, gar and experts small
+        return 2.0 * r * a2a + ag + rs;
+      case 4: // intra-node communication dominates
+        return 2.0 * a2a + r * (ag + rs);
+      default:
+        FSMOE_PANIC("invalid case id ", case_id);
+    }
+}
+
+double
+analyticMoeTime(const PipelineProblem &p, double r)
+{
+    return caseTime(p, caseAt(p, r), r);
+}
+
+double
+overlappableMoeTime(const PipelineProblem &p, double r)
+{
+    PipelineProblem q = p;
+    q.tGar = 0.0;
+    const double a2a = q.a2a.chunk(r);
+    const double ag = q.ag.chunk(r);
+    const double rs = q.rs.chunk(r);
+    const double exp = q.exp.chunk(r);
+    switch (caseAt(q, r)) {
+      case 2:
+        return r * exp + ag + rs - 2.0 * (r - 1.0) * a2a;
+      case 3:
+        return ag + rs;
+      case 4:
+        return r * (ag + rs) - 2.0 * (r - 1.0) * a2a;
+      default:
+        // Case 1 with t_gar = 0 can only occur in degenerate corners
+        // (see §5.2); the inter-node link then has no slack beyond the
+        // first/last chunk boundaries.
+        return ag + rs;
+    }
+}
+
+namespace {
+
+/** Continuous constrained minimisation of one case objective. */
+std::optional<solver::Minimum>
+solveCase(const PipelineProblem &p, int case_id)
+{
+    auto objective = [&](double r) { return caseTime(p, case_id, r); };
+    auto feasible = [&](double r) { return caseAt(p, r) == case_id; };
+    return solver::minimizeConstrained(objective, feasible, 1.0,
+                                       static_cast<double>(p.rMax));
+}
+
+} // namespace
+
+PipelineSolution
+solvePipeline(const PipelineProblem &p)
+{
+    FSMOE_CHECK_ARG(p.rMax >= 1, "rMax must be at least 1");
+
+    // Lines 1-6 of Algorithm 1: per-case constrained solves.
+    double best_cont_r = 1.0;
+    double best_cont_t = std::numeric_limits<double>::infinity();
+    for (int c = 1; c <= 4; ++c) {
+        auto m = solveCase(p, c);
+        if (m && m->value < best_cont_t) {
+            best_cont_t = m->value;
+            best_cont_r = m->x;
+        }
+    }
+    if (!std::isfinite(best_cont_t)) {
+        // No case feasible anywhere on the grid (cannot happen: the
+        // cases partition the space) — fall back to r = 1.
+        best_cont_r = 1.0;
+        best_cont_t = analyticMoeTime(p, 1.0);
+    }
+
+    // Integer refinement: a pipeline degree is a chunk count. Probe
+    // the neighbourhood of the continuous optimum plus the boundary.
+    PipelineSolution sol;
+    sol.rContinuous = best_cont_r;
+    double best_t = std::numeric_limits<double>::infinity();
+    int lo = std::max(1, static_cast<int>(std::floor(best_cont_r)) - 2);
+    int hi = std::min(p.rMax, static_cast<int>(std::ceil(best_cont_r)) + 2);
+    auto consider = [&](int r) {
+        double t = analyticMoeTime(p, r);
+        if (t < best_t) {
+            best_t = t;
+            sol.r = r;
+        }
+    };
+    consider(1);
+    for (int r = lo; r <= hi; ++r)
+        consider(r);
+    sol.tMoe = best_t;
+    sol.caseId = caseAt(p, sol.r);
+    sol.tOlpMoe = overlappableMoeTime(p, sol.r);
+    return sol;
+}
+
+double
+mergedMoeTime(const PipelineProblem &p, double r)
+{
+    const double a2a = p.a2a.chunk(r);
+    const double ag = p.ag.chunk(r);
+    const double rs = p.rs.chunk(r);
+    const double exp = p.exp.chunk(r);
+    const double channel =
+        r * (2.0 * a2a + ag + rs) + p.tGar;
+    const double compute = 2.0 * a2a + ag + rs + r * exp;
+    return std::max(channel, compute);
+}
+
+PipelineSolution
+solvePipelineMerged(const PipelineProblem &p)
+{
+    FSMOE_CHECK_ARG(p.rMax >= 1, "rMax must be at least 1");
+    PipelineSolution sol;
+    double best_t = std::numeric_limits<double>::infinity();
+    for (int r = 1; r <= p.rMax; ++r) {
+        double t = mergedMoeTime(p, r);
+        if (t < best_t) {
+            best_t = t;
+            sol.r = r;
+        }
+    }
+    sol.rContinuous = sol.r;
+    sol.tMoe = best_t;
+    sol.caseId = caseAt(p, sol.r);
+    // Channel slack usable by Gradient-AllReduce without extending the
+    // merged-channel makespan.
+    PipelineProblem q = p;
+    q.tGar = 0.0;
+    sol.tOlpMoe = std::max(
+        0.0, mergedMoeTime(q, sol.r) -
+                 (sol.r * (2.0 * q.a2a.chunk(sol.r) + q.ag.chunk(sol.r) +
+                           q.rs.chunk(sol.r))));
+    return sol;
+}
+
+PipelineSolution
+solvePipelineExhaustive(const PipelineProblem &p)
+{
+    FSMOE_CHECK_ARG(p.rMax >= 1, "rMax must be at least 1");
+    PipelineSolution sol;
+    double best_t = std::numeric_limits<double>::infinity();
+    for (int r = 1; r <= p.rMax; ++r) {
+        double t = analyticMoeTime(p, r);
+        if (t < best_t) {
+            best_t = t;
+            sol.r = r;
+        }
+    }
+    sol.rContinuous = sol.r;
+    sol.tMoe = best_t;
+    sol.caseId = caseAt(p, sol.r);
+    sol.tOlpMoe = overlappableMoeTime(p, sol.r);
+    return sol;
+}
+
+} // namespace fsmoe::core

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The FSMoE schedule (paper Fig. 3d) and its No-IIO ablation.
+ *
+ * FSMoE: per-layer pipeline degrees solved independently for forward
+ * and backward (Algorithm 1), intra-node collectives overlapped with
+ * inter-node ones on separate channels, and Gradient-AllReduce traffic
+ * placed by the adaptive partitioner (§5) — window-filling bytes ride
+ * inside each layer's pipeline right after the last dispatch chunk,
+ * dense-window bytes overlap the layer's dense backward work, and any
+ * remainder runs as an exposed tail.
+ *
+ * FSMoE-No-IIO is identical except intra-node collectives share the
+ * inter-node channel (no inter/intra overlap), isolating the benefit
+ * of contribution 2.
+ */
+#include "core/schedules/schedule.h"
+
+namespace fsmoe::core {
+
+namespace {
+
+using namespace detail;
+
+class FsMoeSchedule : public Schedule
+{
+  public:
+    explicit FsMoeSchedule(bool iio) : iio_(iio) {}
+
+    ScheduleKind kind() const override
+    {
+        return iio_ ? ScheduleKind::FsMoe : ScheduleKind::FsMoeNoIio;
+    }
+
+    sim::TaskGraph
+    build(const ModelCost &model) const override
+    {
+        sim::TaskGraph graph;
+        PipelineBuildOptions opts;
+        opts.mergeCommLinks = !iio_;
+
+        // Forward: each layer gets its own Algorithm-1 degree. The
+        // No-IIO ablation serialises intra- and inter-node collectives
+        // on one channel, so its degrees come from the merged-channel
+        // makespan model instead.
+        sim::TaskId dep = -1;
+        for (const LayerCost &lc : model.layers) {
+            PipelineProblem prob = makeProblem(model.models, lc.workload,
+                                               Phase::Forward, 0.0,
+                                               model.rMax);
+            int r = iio_ ? solvePipeline(prob).r
+                         : solvePipelineMerged(prob).r;
+            dep = appendAttention(graph, lc, Phase::Forward, opts, dep);
+            dep = appendMoePhase(graph, lc, model.models, Phase::Forward,
+                                 r, opts, dep);
+        }
+
+        // Backward: degrees and Gradient-AllReduce placement from the
+        // adaptive partitioner. Plan index 0 is the layer backward
+        // reaches first (the last model layer).
+        solver::DeConfig de;
+        de.populationSize = 24;
+        de.maxGenerations = 80;
+        GradPartitionPlan plan = partitionGradients(
+            makeGeneralizedLayers(model), model.models.allreduce, de,
+            /*enable_step2=*/true, /*merged_channel=*/!iio_);
+
+        std::vector<sim::TaskId> barrier_deps;
+        size_t plan_idx = 0;
+        for (auto it = model.layers.rbegin(); it != model.layers.rend();
+             ++it, ++plan_idx) {
+            int r = plan.solutions[plan_idx].r;
+            sim::TaskId gar = -1;
+            dep = appendMoePhase(graph, *it, model.models, Phase::Backward,
+                                 r, opts, dep, plan.tGar[plan_idx], &gar);
+            if (gar >= 0)
+                barrier_deps.push_back(gar);
+            // Dense-window bytes overlap this layer's dense backward as
+            // background traffic (the partitioner sized them to fit).
+            if (plan.denseBytes[plan_idx] > 0.0) {
+                double t = model.models.allreduce.predict(
+                    plan.denseBytes[plan_idx]);
+                barrier_deps.push_back(graph.addTask(
+                    "gar", sim::OpType::GradAllReduce, sim::Link::InterNode,
+                    kGradAllReduce, t, {dep}, /*priority=*/1));
+            }
+            dep = appendAttention(graph, *it, Phase::Backward, opts, dep);
+        }
+        if (plan.exposedBytes > 0.0) {
+            double t = model.models.allreduce.predict(plan.exposedBytes);
+            barrier_deps.push_back(
+                graph.addTask("gar", sim::OpType::GradAllReduce,
+                              sim::Link::InterNode, kGradAllReduce, t,
+                              {dep}));
+        }
+        barrier_deps.push_back(dep);
+        graph.addTask("barrier", sim::OpType::Other, sim::Link::Compute,
+                      kCompute, 0.0, std::move(barrier_deps));
+        return graph;
+    }
+
+  private:
+    bool iio_;
+};
+
+} // namespace
+
+namespace detail {
+
+std::unique_ptr<Schedule> makeDsMoeSchedule();
+std::unique_ptr<Schedule> makeTutelSchedule(bool improved);
+std::unique_ptr<Schedule> makeLinaSchedule();
+
+} // namespace detail
+
+std::unique_ptr<Schedule>
+Schedule::create(ScheduleKind kind)
+{
+    switch (kind) {
+      case ScheduleKind::DsMoeSequential:
+        return detail::makeDsMoeSchedule();
+      case ScheduleKind::Tutel:
+        return detail::makeTutelSchedule(false);
+      case ScheduleKind::TutelImproved:
+        return detail::makeTutelSchedule(true);
+      case ScheduleKind::PipeMoeLina:
+        return detail::makeLinaSchedule();
+      case ScheduleKind::FsMoeNoIio:
+        return std::make_unique<FsMoeSchedule>(false);
+      case ScheduleKind::FsMoe:
+        return std::make_unique<FsMoeSchedule>(true);
+      default:
+        FSMOE_PANIC("unknown schedule kind");
+    }
+}
+
+} // namespace fsmoe::core

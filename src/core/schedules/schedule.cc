@@ -1,0 +1,194 @@
+#include "core/schedules/schedule.h"
+
+#include "base/logging.h"
+
+namespace fsmoe::core {
+
+LayerCost
+makeLayerCost(const PerfModelSet &models, const LayerShape &shape,
+              const ParallelConfig &par)
+{
+    LayerCost lc;
+    lc.workload = deriveWorkload(shape, par);
+    lc.fwd = forwardTimes(models, lc.workload);
+    lc.bwd = backwardTimes(models, lc.workload);
+    return lc;
+}
+
+const std::vector<ScheduleKind> &
+allScheduleKinds()
+{
+    static const std::vector<ScheduleKind> kinds = {
+        ScheduleKind::DsMoeSequential, ScheduleKind::Tutel,
+        ScheduleKind::TutelImproved,   ScheduleKind::PipeMoeLina,
+        ScheduleKind::FsMoeNoIio,      ScheduleKind::FsMoe,
+    };
+    return kinds;
+}
+
+const char *
+scheduleName(ScheduleKind kind)
+{
+    switch (kind) {
+      case ScheduleKind::DsMoeSequential: return "DS-MoE";
+      case ScheduleKind::Tutel: return "Tutel";
+      case ScheduleKind::TutelImproved: return "Tutel-Improved";
+      case ScheduleKind::PipeMoeLina: return "PipeMoE+Lina";
+      case ScheduleKind::FsMoeNoIio: return "FSMoE-No-IIO";
+      case ScheduleKind::FsMoe: return "FSMoE";
+      default: return "?";
+    }
+}
+
+double
+Schedule::iterationTimeMs(const ModelCost &model) const
+{
+    return simulate(model).makespan;
+}
+
+sim::SimResult
+Schedule::simulate(const ModelCost &model, sim::TaskGraph *graph_out) const
+{
+    sim::TaskGraph graph = build(model);
+    sim::Simulator simulator;
+    sim::SimResult result = simulator.run(graph);
+    if (graph_out)
+        *graph_out = std::move(graph);
+    return result;
+}
+
+namespace detail {
+
+namespace {
+
+sim::Link
+commLink(bool merged)
+{
+    return merged ? sim::Link::InterNode : sim::Link::IntraNode;
+}
+
+} // namespace
+
+sim::TaskId
+appendAttention(sim::TaskGraph &graph, const LayerCost &lc, Phase phase,
+                const PipelineBuildOptions &opts, sim::TaskId dep)
+{
+    (void)opts;
+    const PhaseTimes &t = phase == Phase::Forward ? lc.fwd : lc.bwd;
+    std::vector<sim::TaskId> deps;
+    if (dep >= 0)
+        deps.push_back(dep);
+    return graph.addTask("attention", sim::OpType::Attention,
+                         sim::Link::Compute, kCompute, t.attention,
+                         std::move(deps));
+}
+
+sim::TaskId
+appendMoePhase(sim::TaskGraph &graph, const LayerCost &lc,
+               const PerfModelSet &models, Phase phase, int r,
+               const PipelineBuildOptions &opts, sim::TaskId dep,
+               double gar_ms, sim::TaskId *gar_out)
+{
+    FSMOE_CHECK_ARG(r >= 1, "pipeline degree must be >= 1");
+    const PhaseTimes &t = phase == Phase::Forward ? lc.fwd : lc.bwd;
+    const PipelineProblem prob =
+        makeProblem(models, lc.workload, phase, 0.0, r);
+
+    const double t_a2a = prob.a2a.chunk(r);
+    const double t_ag = prob.ag.chunk(r);
+    const double t_rs = prob.rs.chunk(r);
+    const double t_exp = prob.exp.chunk(r);
+
+    const int s_comp = kCompute;
+    const int s_disp = opts.sequential ? kCompute : kDispatch;
+    const int s_ag = opts.sequential ? kCompute : kAllGather;
+    const int s_rs = opts.sequential ? kCompute : kReduceScatter;
+    const int s_comb = opts.sequential ? kCompute : kCombine;
+    // Gradient-AllReduce gets its own queue; the Fig. 3d placement
+    // (after the last dispatch chunk) is enforced by its dependency,
+    // and a separate queue keeps later layers' dispatches from
+    // queueing behind it.
+    const int s_gar = opts.sequential ? kCompute : kGradAllReduce;
+
+    const sim::Link l_inter = sim::Link::InterNode;
+    const sim::Link l_intra = commLink(opts.mergeCommLinks);
+
+    std::vector<sim::TaskId> start_deps;
+    if (dep >= 0)
+        start_deps.push_back(dep);
+
+    sim::TaskId routing = graph.addTask("routing", sim::OpType::Routing,
+                                        sim::Link::Compute, s_comp,
+                                        t.routing, start_deps);
+    sim::TaskId order = graph.addTask("order", sim::OpType::Order,
+                                      sim::Link::Compute, s_comp, t.order,
+                                      {routing});
+
+    // Pipelined body: dispatch_i -> allgather_i -> experts_i ->
+    // reducescatter_i -> combine_i, all chunks independent of each
+    // other except through the shared links and streams.
+    std::vector<sim::TaskId> dispatch(r), combine(r);
+    for (int i = 0; i < r; ++i) {
+        dispatch[i] = graph.addTask("d" + std::to_string(i),
+                                    sim::OpType::AlltoAll, l_inter, s_disp,
+                                    t_a2a, {order});
+    }
+    sim::TaskId gar = -1;
+    if (gar_ms > 0.0) {
+        // Background priority: the partitioner sized this AllReduce to
+        // fit the pipeline's slack, and yielding the channel to
+        // AlltoAll chunks keeps it from stretching the pipeline when
+        // the estimate is tight.
+        gar = graph.addTask("gar", sim::OpType::GradAllReduce, l_inter,
+                            s_gar, gar_ms, {dispatch[r - 1]},
+                            /*priority=*/1);
+    }
+    if (gar_out)
+        *gar_out = gar;
+    for (int i = 0; i < r; ++i) {
+        sim::TaskId ag = graph.addTask("g" + std::to_string(i),
+                                       sim::OpType::AllGather, l_intra,
+                                       s_ag, t_ag, {dispatch[i]});
+        sim::TaskId exp = graph.addTask("e" + std::to_string(i),
+                                        sim::OpType::Experts,
+                                        sim::Link::Compute, s_comp, t_exp,
+                                        {ag});
+        sim::TaskId rs = graph.addTask("s" + std::to_string(i),
+                                       sim::OpType::ReduceScatter, l_intra,
+                                       s_rs, t_rs, {exp});
+        combine[i] = graph.addTask("c" + std::to_string(i),
+                                   sim::OpType::AlltoAll, l_inter, s_comb,
+                                   t_a2a, {rs});
+    }
+
+    // The inverse order waits for every combined chunk; the gradient
+    // AllReduce does not gate it (only the end-of-iteration barrier
+    // waits for AllReduces, so they may spill into later dense work).
+    std::vector<sim::TaskId> tail_deps = {combine.back()};
+    for (int i = 0; i + 1 < r; ++i)
+        tail_deps.push_back(combine[i]);
+    return graph.addTask("iorder", sim::OpType::Order, sim::Link::Compute,
+                         s_comp, t.order, std::move(tail_deps));
+}
+
+std::vector<GeneralizedLayer>
+makeGeneralizedLayers(const ModelCost &model)
+{
+    std::vector<GeneralizedLayer> layers;
+    layers.reserve(model.layers.size());
+    // Backward executes model layers last-to-first.
+    for (auto it = model.layers.rbegin(); it != model.layers.rend(); ++it) {
+        GeneralizedLayer gl;
+        gl.moe = makeProblem(model.models, it->workload, Phase::Backward,
+                             0.0, model.rMax);
+        gl.denseOlpMs = it->bwd.attention + it->bwd.routing +
+                        2.0 * it->bwd.order;
+        gl.gradBytes = it->workload.gradBytes;
+        layers.push_back(gl);
+    }
+    return layers;
+}
+
+} // namespace detail
+
+} // namespace fsmoe::core

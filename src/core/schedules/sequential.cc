@@ -1,0 +1,81 @@
+/**
+ * @file
+ * DeepSpeed-MoE's default schedule (paper Fig. 3a): every operation of
+ * every layer executes back-to-back on one queue, and the gradient
+ * AllReduces run unoverlapped after the backward pass.
+ */
+#include "core/schedules/schedule.h"
+
+namespace fsmoe::core {
+
+namespace {
+
+class DsMoeSchedule : public Schedule
+{
+  public:
+    ScheduleKind kind() const override
+    {
+        return ScheduleKind::DsMoeSequential;
+    }
+
+    sim::TaskGraph
+    build(const ModelCost &model) const override
+    {
+        using namespace detail;
+        // Apply DeepSpeed-MoE's implementation overheads: staged 2DH
+        // AlltoAll and unfused gate/order kernels.
+        ModelCost priced = model;
+        for (LayerCost &lc : priced.layers) {
+            lc.fwd.a2a *= model.dsA2aOverhead;
+            lc.bwd.a2a *= model.dsA2aOverhead;
+            lc.fwd.routing *= model.dsKernelOverhead;
+            lc.bwd.routing *= model.dsKernelOverhead;
+            lc.fwd.order *= model.dsKernelOverhead;
+            lc.bwd.order *= model.dsKernelOverhead;
+            // PhaseTimes drive the durations through the workload's
+            // volumes inside appendMoePhase, so scale those too.
+            lc.workload.a2aBytes *= model.dsA2aOverhead;
+            lc.workload.routingMacs *= model.dsKernelOverhead;
+            lc.workload.orderBytes *= model.dsKernelOverhead;
+        }
+
+        sim::TaskGraph graph;
+        PipelineBuildOptions opts;
+        opts.sequential = true;
+        opts.mergeCommLinks = true;
+
+        sim::TaskId dep = -1;
+        for (const LayerCost &lc : priced.layers) {
+            dep = appendAttention(graph, lc, Phase::Forward, opts, dep);
+            dep = appendMoePhase(graph, lc, model.models, Phase::Forward,
+                                 1, opts, dep);
+        }
+        for (auto it = priced.layers.rbegin(); it != priced.layers.rend();
+             ++it) {
+            dep = appendMoePhase(graph, *it, model.models, Phase::Backward,
+                                 1, opts, dep);
+            dep = appendAttention(graph, *it, Phase::Backward, opts, dep);
+        }
+        // Unoverlapped gradient synchronisation, one AllReduce per layer.
+        for (const LayerCost &lc : priced.layers) {
+            double t = model.models.allreduce.predict(lc.workload.gradBytes);
+            dep = graph.addTask("gar", sim::OpType::GradAllReduce,
+                                sim::Link::InterNode, kCompute, t, {dep});
+        }
+        return graph;
+    }
+};
+
+} // namespace
+
+namespace detail {
+
+std::unique_ptr<Schedule>
+makeDsMoeSchedule()
+{
+    return std::make_unique<DsMoeSchedule>();
+}
+
+} // namespace detail
+
+} // namespace fsmoe::core

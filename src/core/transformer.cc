@@ -1,0 +1,148 @@
+#include "core/transformer.h"
+
+#include "base/logging.h"
+
+namespace fsmoe::core {
+
+TransformerMoeBlock::TransformerMoeBlock(
+    const TransformerBlockOptions &options)
+    : options_(options), moe_(std::make_unique<MoeLayer>(options.moe)),
+      comm_(options.moe.numEp * options.moe.numEsp)
+{
+    const int world = moe_->worldSize();
+    const int64_t m = options.moe.embed;
+    attn_.reserve(world);
+    for (int r = 0; r < world; ++r) {
+        AttentionOptions ao;
+        ao.embed = m;
+        ao.numHeads = options.numHeads;
+        ao.seqLen = options.seqLen;
+        ao.causal = options.causal;
+        ao.seed = options.moe.seed + 7; // identical across ranks
+        attn_.push_back(std::make_unique<MultiHeadAttention>(ao));
+        ln1Gamma_.push_back(Tensor::full({m}, 1.0f));
+        ln1Beta_.push_back(Tensor({m}));
+        ln2Gamma_.push_back(Tensor::full({m}, 1.0f));
+        ln2Beta_.push_back(Tensor({m}));
+        dLn1Gamma_.push_back(Tensor({m}));
+        dLn1Beta_.push_back(Tensor({m}));
+        dLn2Gamma_.push_back(Tensor({m}));
+        dLn2Beta_.push_back(Tensor({m}));
+    }
+    ln1Cache_.resize(world);
+    ln2Cache_.resize(world);
+}
+
+std::vector<Tensor>
+TransformerMoeBlock::forward(const std::vector<Tensor> &xs)
+{
+    const int world = moe_->worldSize();
+    FSMOE_CHECK_ARG(static_cast<int>(xs.size()) == world,
+                    "need one input per rank");
+    xs_ = xs;
+    hs_.resize(world);
+    std::vector<Tensor> moe_in(world);
+    for (int r = 0; r < world; ++r) {
+        Tensor normed = layerNorm(xs[r], ln1Gamma_[r], ln1Beta_[r],
+                                  ln1Cache_[r]);
+        Tensor attn_out = attn_[r]->forward(normed);
+        hs_[r] = add(xs[r], attn_out);
+        moe_in[r] = layerNorm(hs_[r], ln2Gamma_[r], ln2Beta_[r],
+                              ln2Cache_[r]);
+    }
+    std::vector<Tensor> moe_out = moe_->forward(moe_in);
+    std::vector<Tensor> ys(world);
+    for (int r = 0; r < world; ++r)
+        ys[r] = add(hs_[r], moe_out[r]);
+    return ys;
+}
+
+std::vector<Tensor>
+TransformerMoeBlock::backward(const std::vector<Tensor> &d_out)
+{
+    const int world = moe_->worldSize();
+    FSMOE_CHECK_ARG(static_cast<int>(d_out.size()) == world,
+                    "need one gradient per rank");
+    // y = h + MoE(LN2(h)); first the MoE branch (cross-rank), then
+    // fold its input gradient through LN2 and the residual.
+    std::vector<Tensor> d_moe_in = moe_->backward(d_out);
+    std::vector<Tensor> dxs(world);
+    for (int r = 0; r < world; ++r) {
+        Tensor d_h = layerNormBackward(d_moe_in[r], ln2Gamma_[r],
+                                       ln2Cache_[r], dLn2Gamma_[r],
+                                       dLn2Beta_[r]);
+        d_h.add_(d_out[r]);
+        // h = x + Attention(LN1(x)).
+        Tensor d_norm = attn_[r]->backward(d_h);
+        Tensor dx = layerNormBackward(d_norm, ln1Gamma_[r], ln1Cache_[r],
+                                      dLn1Gamma_[r], dLn1Beta_[r]);
+        dx.add_(d_h);
+        dxs[r] = std::move(dx);
+    }
+    return dxs;
+}
+
+void
+TransformerMoeBlock::registerParams(OptimizerBase &opt)
+{
+    const int world = moe_->worldSize();
+    for (int r = 0; r < world; ++r) {
+        opt.addAll(attn_[r]->params(), attn_[r]->grads());
+        opt.add(&ln1Gamma_[r], &dLn1Gamma_[r]);
+        opt.add(&ln1Beta_[r], &dLn1Beta_[r]);
+        opt.add(&ln2Gamma_[r], &dLn2Gamma_[r]);
+        opt.add(&ln2Beta_[r], &dLn2Beta_[r]);
+        opt.addAll(moe_->gate(r).params(), moe_->gate(r).grads());
+        const int e_loc = options_.moe.numExperts / options_.moe.numEp;
+        for (int j = 0; j < e_loc; ++j) {
+            ExpertBase &expert = moe_->expertShard(r, j);
+            opt.addAll(expert.params(), expert.grads());
+        }
+    }
+}
+
+void
+TransformerMoeBlock::zeroGrad()
+{
+    const int world = moe_->worldSize();
+    moe_->zeroGrad();
+    for (int r = 0; r < world; ++r) {
+        attn_[r]->zeroGrad();
+        dLn1Gamma_[r].fill(0.0f);
+        dLn1Beta_[r].fill(0.0f);
+        dLn2Gamma_[r].fill(0.0f);
+        dLn2Beta_[r].fill(0.0f);
+    }
+}
+
+void
+TransformerMoeBlock::syncReplicatedGrads()
+{
+    const int world = moe_->worldSize();
+    if (world == 1)
+        return;
+    moe_->syncReplicatedGrads();
+    dist::Group everyone;
+    for (int r = 0; r < world; ++r)
+        everyone.push_back(r);
+
+    auto sync = [&](auto accessor) {
+        std::vector<Tensor> bufs(world);
+        for (int r = 0; r < world; ++r)
+            bufs[r] = *accessor(r);
+        comm_.allReduce(bufs, everyone);
+        for (int r = 0; r < world; ++r) {
+            bufs[r].scale_(1.0f / world);
+            *accessor(r) = bufs[r];
+        }
+    };
+    const size_t attn_params = attn_[0]->grads().size();
+    for (size_t pi = 0; pi < attn_params; ++pi)
+        sync([&](int r) { return attn_[r]->grads()[pi]; });
+    sync([&](int r) { return &dLn1Gamma_[r]; });
+    sync([&](int r) { return &dLn1Beta_[r]; });
+    sync([&](int r) { return &dLn2Gamma_[r]; });
+    sync([&](int r) { return &dLn2Beta_[r]; });
+}
+
+} // namespace fsmoe::core

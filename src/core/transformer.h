@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A complete transformer-MoE block: the structure the paper's Fig. 1
+ * sketches and Table 2 measures — pre-norm attention with a residual
+ * connection, followed by a pre-norm MoE layer with a residual
+ * connection — running functionally across all ranks with exact
+ * manual backward.
+ *
+ *   h = x + Attention(LN1(x))
+ *   y = h + MoE(LN2(h))
+ *
+ * Attention and layer norms are replicated per rank (their MP-sharded
+ * cost lives in the scheduler's Workload model); the MoE layer runs
+ * the real EP x ESP distributed algorithm.
+ */
+#ifndef FSMOE_CORE_TRANSFORMER_H
+#define FSMOE_CORE_TRANSFORMER_H
+
+#include <memory>
+#include <vector>
+
+#include "core/attention.h"
+#include "core/moe_layer.h"
+#include "core/optimizer.h"
+#include "tensor/ops.h"
+
+namespace fsmoe::core {
+
+/** Configuration of a transformer-MoE block. */
+struct TransformerBlockOptions
+{
+    MoeLayerOptions moe; ///< MoE sub-layer (defines embed, world, and
+                         ///< the auxiliary-loss scale).
+    int numHeads = 4;    ///< Attention heads.
+    int64_t seqLen = 16; ///< Sequence length per sample.
+    bool causal = true;  ///< Autoregressive masking.
+};
+
+/** One pre-norm transformer block with an MoE feed-forward. */
+class TransformerMoeBlock
+{
+  public:
+    explicit TransformerMoeBlock(const TransformerBlockOptions &options);
+
+    int worldSize() const { return moe_->worldSize(); }
+    MoeLayer &moe() { return *moe_; }
+
+    /** Forward on all ranks; inputs are (B*L, M) per rank. */
+    std::vector<Tensor> forward(const std::vector<Tensor> &xs);
+
+    /** Backward on all ranks (aux-loss gradients handled by MoeLayer). */
+    std::vector<Tensor> backward(const std::vector<Tensor> &d_out);
+
+    /** Auxiliary loss accumulated across ranks in the last forward. */
+    double lastAuxLoss() const { return moe_->lastAuxLoss(); }
+
+    /** Register every parameter of every rank with an optimizer. */
+    void registerParams(OptimizerBase &opt);
+
+    /** Zero all gradients (blocks and MoE). */
+    void zeroGrad();
+
+    /** Average replicated gradients (gate, attention, norms). */
+    void syncReplicatedGrads();
+
+  private:
+    TransformerBlockOptions options_;
+    std::unique_ptr<MoeLayer> moe_;
+    // Per-rank replicated modules.
+    std::vector<std::unique_ptr<MultiHeadAttention>> attn_;
+    std::vector<Tensor> ln1Gamma_, ln1Beta_, ln2Gamma_, ln2Beta_;
+    std::vector<Tensor> dLn1Gamma_, dLn1Beta_, dLn2Gamma_, dLn2Beta_;
+    // Forward caches per rank.
+    std::vector<LayerNormCache> ln1Cache_, ln2Cache_;
+    std::vector<Tensor> xs_, hs_;
+    dist::Communicator comm_;
+};
+
+} // namespace fsmoe::core
+
+#endif // FSMOE_CORE_TRANSFORMER_H

@@ -1,0 +1,53 @@
+#include "model/gpipe.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace fsmoe::model {
+
+GpipeResult
+gpipeIteration(const core::Schedule &schedule, const ModelSpec &spec,
+               const sim::ClusterSpec &cluster, int num_stages,
+               int micro_batches)
+{
+    FSMOE_CHECK_ARG(num_stages >= 1, "need at least one stage");
+    FSMOE_CHECK_ARG(micro_batches >= 1, "need at least one micro-batch");
+
+    // One stage holds an even slice of the layers and sees one
+    // micro-batch at a time. Under pipeline parallelism, each stage
+    // only spans the nodes assigned to it.
+    ModelSpec stage = spec;
+    stage.numLayers = std::max(1, spec.numLayers / num_stages);
+    stage.layer.batch =
+        std::max<int64_t>(1, spec.layer.batch / micro_batches);
+
+    core::ParallelConfig par = paperParallelism(cluster, num_stages);
+    core::ModelCost cost = makeModelCost(stage, cluster, par);
+
+    // Split the stage simulation into its forward and backward halves
+    // by simulating forward-only (a model with zero backward would
+    // distort schedule choices), so instead take the full iteration
+    // and apportion it by the layers' analytic forward/backward mass.
+    double full = schedule.iterationTimeMs(cost);
+    double fwd_mass = 0.0, bwd_mass = 0.0;
+    for (const core::LayerCost &lc : cost.layers) {
+        fwd_mass += lc.fwd.a2a * 2 + lc.fwd.allgather + lc.fwd.reducescatter +
+                    lc.fwd.experts + lc.fwd.attention;
+        bwd_mass += lc.bwd.a2a * 2 + lc.bwd.allgather + lc.bwd.reducescatter +
+                    lc.bwd.experts + lc.bwd.attention +
+                    lc.bwd.gradAllReduce;
+    }
+    double fwd_share = fwd_mass / std::max(1e-9, fwd_mass + bwd_mass);
+
+    GpipeResult result;
+    result.numStages = num_stages;
+    result.microBatches = micro_batches;
+    result.stageFwdMs = full * fwd_share;
+    result.stageBwdMs = full * (1.0 - fwd_share);
+    const double slots = micro_batches + num_stages - 1;
+    result.iterationMs = slots * (result.stageFwdMs + result.stageBwdMs);
+    return result;
+}
+
+} // namespace fsmoe::model

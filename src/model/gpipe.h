@@ -1,0 +1,49 @@
+/**
+ * @file
+ * GPipe-style pipeline parallelism (paper Fig. 8 setting, [15]).
+ *
+ * With N_PP stages and m micro-batches, GPipe runs all forward
+ * micro-batches through the stage pipeline, then all backward ones;
+ * with balanced stages the iteration occupies (m + s - 1) forward
+ * slots and (m + s - 1) backward slots of the per-micro-batch stage
+ * time. Each stage slot's cost comes from simulating the stage's
+ * layer slice under the chosen MoE schedule, so schedules that
+ * accelerate a stage shorten every slot.
+ */
+#ifndef FSMOE_MODEL_GPIPE_H
+#define FSMOE_MODEL_GPIPE_H
+
+#include "core/schedules/schedule.h"
+#include "model/models.h"
+
+namespace fsmoe::model {
+
+/** Result of a GPipe iteration estimate. */
+struct GpipeResult
+{
+    double iterationMs = 0.0; ///< Full iteration time.
+    double stageFwdMs = 0.0;  ///< Per-micro-batch forward slot.
+    double stageBwdMs = 0.0;  ///< Per-micro-batch backward slot.
+    int numStages = 1;
+    int microBatches = 1;
+};
+
+/**
+ * Estimate one training iteration of @p spec under pipeline
+ * parallelism.
+ *
+ * @param schedule      The MoE schedule applied inside each stage.
+ * @param spec          The model; its layers are split evenly across
+ *                      stages, and the batch across micro-batches.
+ * @param cluster       Simulated testbed.
+ * @param num_stages    N_PP.
+ * @param micro_batches GPipe micro-batch count m.
+ */
+GpipeResult gpipeIteration(const core::Schedule &schedule,
+                           const ModelSpec &spec,
+                           const sim::ClusterSpec &cluster, int num_stages,
+                           int micro_batches);
+
+} // namespace fsmoe::model
+
+#endif // FSMOE_MODEL_GPIPE_H

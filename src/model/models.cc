@@ -1,0 +1,100 @@
+#include "core/dispatch.h"
+#include "model/models.h"
+
+#include "base/logging.h"
+
+namespace fsmoe::model {
+
+ModelSpec
+gpt2XlMoe(int num_experts, int64_t batch, int64_t seq_len, int num_layers)
+{
+    ModelSpec spec;
+    spec.name = "GPT2-XL-MoE";
+    spec.layer.batch = batch;
+    spec.layer.seqLen = seq_len;
+    spec.layer.embed = 1600;
+    spec.layer.hidden = 6400;
+    spec.layer.numExperts = num_experts;
+    spec.layer.topK = 2;
+    spec.layer.capacityFactor = 1.2;
+    spec.layer.numHeads = 25;
+    spec.layer.ffn = core::FfnType::Simple;
+    spec.numLayers = num_layers;
+    return spec;
+}
+
+ModelSpec
+mixtral7B(int num_experts, int64_t batch, int64_t seq_len, int num_layers)
+{
+    ModelSpec spec;
+    spec.name = "Mixtral-7B";
+    spec.layer.batch = batch;
+    spec.layer.seqLen = seq_len;
+    spec.layer.embed = 4096;
+    spec.layer.hidden = 14336;
+    spec.layer.numExperts = num_experts;
+    spec.layer.topK = 2;
+    spec.layer.capacityFactor = 1.2;
+    spec.layer.numHeads = 32;
+    spec.layer.ffn = core::FfnType::Mixtral;
+    spec.numLayers = num_layers;
+    return spec;
+}
+
+ModelSpec
+mixtral22B(int num_experts, int64_t batch, int64_t seq_len, int num_layers)
+{
+    ModelSpec spec;
+    spec.name = "Mixtral-22B";
+    spec.layer.batch = batch;
+    spec.layer.seqLen = seq_len;
+    spec.layer.embed = 6144;
+    spec.layer.hidden = 16384;
+    spec.layer.numExperts = num_experts;
+    spec.layer.topK = 2;
+    spec.layer.capacityFactor = 1.2;
+    spec.layer.numHeads = 48;
+    spec.layer.ffn = core::FfnType::Mixtral;
+    spec.numLayers = num_layers;
+    return spec;
+}
+
+core::ParallelConfig
+paperParallelism(const sim::ClusterSpec &cluster, int num_pp)
+{
+    FSMOE_CHECK_ARG(num_pp >= 1, "pipeline stages must be positive");
+    core::ParallelConfig par;
+    par.numMp = cluster.gpusPerNode;
+    par.numEsp = cluster.gpusPerNode;
+    par.numEp = std::max(1, cluster.numNodes / num_pp);
+    par.numDp = par.numEp;
+    par.numPp = num_pp;
+    return par;
+}
+
+core::ModelCost
+makeModelCost(const ModelSpec &spec, const sim::ClusterSpec &cluster,
+              const core::ParallelConfig &par, int r_max)
+{
+    core::ModelCost cost;
+    cost.models = core::PerfModelSet::fromCluster(cluster);
+    cost.rMax = r_max;
+    cost.layers.reserve(spec.numLayers);
+    for (int i = 0; i < spec.numLayers; ++i)
+        cost.layers.push_back(
+            core::makeLayerCost(cost.models, spec.layer, par));
+    // DeepSpeed-MoE's 2DH AlltoAll overhead at this workload's actual
+    // message size (extra intra-node staging pass; see dispatch.h).
+    if (!cost.layers.empty()) {
+        double bytes = cost.layers[0].workload.a2aBytes;
+        double direct =
+            core::a2aCostMs(cluster, dist::A2aAlgo::NcclDirect, bytes);
+        double staged =
+            core::a2aCostMs(cluster, dist::A2aAlgo::Hier2D, bytes);
+        if (direct > 0.0)
+            cost.dsA2aOverhead = std::max(1.0, staged / direct);
+    }
+    return cost;
+}
+
+} // namespace fsmoe::model

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Real-world model configurations used in the paper's evaluation
+ * (§6.4): an MoE model based on GPT-2 XL [38], Mixtral-7B and
+ * Mixtral-22B [20], plus builders that turn a model + testbed +
+ * parallelism into the ModelCost a schedule consumes.
+ */
+#ifndef FSMOE_MODEL_MODELS_H
+#define FSMOE_MODEL_MODELS_H
+
+#include <string>
+#include <vector>
+
+#include "core/moe_config.h"
+#include "core/schedules/schedule.h"
+#include "sim/cluster.h"
+
+namespace fsmoe::model {
+
+/** A named transformer-MoE model. */
+struct ModelSpec
+{
+    std::string name;
+    core::LayerShape layer; ///< Shape of each MoE transformer layer.
+    int numLayers = 1;      ///< Generalized (attention+MoE) layers.
+};
+
+/**
+ * GPT2-XL-based MoE (M=1600, H=4M, 25 heads). @p num_experts follows
+ * the paper's rule E = number of nodes.
+ */
+ModelSpec gpt2XlMoe(int num_experts, int64_t batch = 1,
+                    int64_t seq_len = 1024, int num_layers = 24);
+
+/** Mixtral-7B: M=4096, H=14336, 32 heads, SwiGLU experts, E=8. */
+ModelSpec mixtral7B(int num_experts, int64_t batch = 1,
+                    int64_t seq_len = 1024, int num_layers = 32);
+
+/** Mixtral-22B-style: M=6144, H=16384, 48 heads, 33 layers. */
+ModelSpec mixtral22B(int num_experts, int64_t batch = 1,
+                     int64_t seq_len = 1024, int num_layers = 33);
+
+/**
+ * The paper's parallelism rule for a testbed: N_MP = N_ESP = GPUs per
+ * node, N_EP = number of nodes (§6.1/§6.4).
+ */
+core::ParallelConfig paperParallelism(const sim::ClusterSpec &cluster,
+                                      int num_pp = 1);
+
+/**
+ * Assemble the ModelCost for @p spec on @p cluster: derives every
+ * layer's workload and prices it with the cluster's ground-truth
+ * performance models.
+ */
+core::ModelCost makeModelCost(const ModelSpec &spec,
+                              const sim::ClusterSpec &cluster,
+                              const core::ParallelConfig &par,
+                              int r_max = 16);
+
+} // namespace fsmoe::model
+
+#endif // FSMOE_MODEL_MODELS_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cluster (testbed) descriptions for the simulated hardware.
+ *
+ * The paper evaluates on two physical clusters and publishes the fitted
+ * alpha/beta coefficients of every communication and GEMM performance
+ * model in the caption of Fig. 5. We parameterise the simulator with
+ * exactly those coefficients, so the simulated testbeds behave like the
+ * paper's own analytical description of its hardware.
+ *
+ * Unit conventions: times in milliseconds, sizes in bytes, GEMM work in
+ * multiply-accumulate operations (the paper plots GEMM against "input
+ * size" = m*k*n-proportional work).
+ */
+#ifndef FSMOE_SIM_CLUSTER_H
+#define FSMOE_SIM_CLUSTER_H
+
+#include <string>
+
+namespace fsmoe::sim {
+
+/** Coefficients of one linear cost model t(n) = alpha + beta * n. */
+struct CostCoeffs
+{
+    double alpha = 0.0; ///< Startup latency in milliseconds.
+    double beta = 0.0;  ///< Milliseconds per byte (or per MAC for GEMM).
+
+    /** Evaluate the model at volume @p n. */
+    double operator()(double n) const { return alpha + beta * n; }
+};
+
+/**
+ * A homogeneous GPU cluster: topology counts plus the ground-truth cost
+ * coefficients the simulator uses to "measure" task durations.
+ */
+struct ClusterSpec
+{
+    std::string name;
+    int numNodes = 1;
+    int gpusPerNode = 1;
+
+    CostCoeffs gemm;          ///< Per-MAC compute model.
+    CostCoeffs alltoall;      ///< Inter-node AlltoAll (per byte).
+    CostCoeffs allgather;     ///< Intra-node ESP-AllGather (per byte).
+    CostCoeffs reducescatter; ///< Intra-node ESP-ReduceScatter (per byte).
+    CostCoeffs allreduce;     ///< Inter-node Gradient-AllReduce (per byte).
+
+    /// Relative stddev of multiplicative measurement noise applied when
+    /// the profiler "measures" this cluster (0 disables noise).
+    double measurementNoise = 0.0;
+
+    int totalGpus() const { return numNodes * gpusPerNode; }
+};
+
+/**
+ * Testbed A: 6 nodes x 8 Nvidia A6000, NVLink intra-node, 200 Gb/s IB.
+ * Coefficients from Fig. 5(a)/(b) captions. Two caption values
+ * (beta_ag = 2.32e-06, beta_ar = 4.95e-06) are inconsistent with the
+ * plotted curves and with Table 2's measured times by exactly one
+ * order of magnitude; we apply the 1e-1 correction and record the
+ * discrepancy in EXPERIMENTS.md.
+ */
+ClusterSpec testbedA();
+
+/**
+ * Testbed B: 8 nodes x 4 Nvidia RTX 2080Ti, PCIe intra-node, 100 Gb/s
+ * IB. Coefficients from Fig. 5(c)/(d) captions, used verbatim.
+ */
+ClusterSpec testbedB();
+
+/**
+ * A testbed scaled to @p num_nodes nodes (for the Fig. 7 varied-P
+ * sweep): inter-node betas scale with the collective's node count as
+ * (P'-1)/P' ring steps; intra-node and compute are unchanged.
+ */
+ClusterSpec scaledTestbedA(int num_nodes);
+
+} // namespace fsmoe::sim
+
+#endif // FSMOE_SIM_CLUSTER_H

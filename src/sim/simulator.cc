@@ -1,0 +1,159 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <sstream>
+
+namespace fsmoe::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Mutable per-task execution state. */
+struct TaskState
+{
+    int pendingDeps = 0;
+    double readyTime = 0.0; ///< Max finish time over dependencies so far.
+    bool started = false;
+    bool finished = false;
+};
+
+} // namespace
+
+SimResult
+Simulator::run(const TaskGraph &graph) const
+{
+    const auto &tasks = graph.tasks();
+    const size_t n = tasks.size();
+    SimResult result;
+    result.trace.resize(n);
+    if (n == 0)
+        return result;
+
+    std::vector<TaskState> state(n);
+    std::vector<std::vector<TaskId>> dependents(n);
+    for (const Task &t : tasks) {
+        state[t.id].pendingDeps = static_cast<int>(t.deps.size());
+        for (TaskId d : t.deps)
+            dependents[d].push_back(t.id);
+    }
+
+    // Per-stream FIFO issue queues in addTask order.
+    std::vector<std::vector<TaskId>> streams(graph.numStreams());
+    for (const Task &t : tasks)
+        streams[t.stream].push_back(t.id);
+    std::vector<size_t> head(graph.numStreams(), 0);
+
+    std::array<double, static_cast<size_t>(Link::NumLinks)> link_free{};
+    link_free.fill(0.0);
+
+    // Completion events ordered by time.
+    using Event = std::pair<double, TaskId>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+    size_t finished_count = 0;
+    double now = 0.0;
+
+    auto try_start = [&]() {
+        // Keep starting tasks until no link can accept one at `now`.
+        bool progressed = true;
+        while (progressed) {
+            progressed = false;
+            for (size_t li = 0; li < link_free.size(); ++li) {
+                if (link_free[li] > now)
+                    continue;
+                // Eligible = head of its stream, deps done, wants link li.
+                // Pick by priority class first (background traffic such
+                // as gradient AllReduce yields), then earliest-ready,
+                // then issue order.
+                TaskId best = -1;
+                double best_ready = kInf;
+                int best_prio = std::numeric_limits<int>::max();
+                for (int s = 0; s < graph.numStreams(); ++s) {
+                    if (head[s] >= streams[s].size())
+                        continue;
+                    TaskId id = streams[s][head[s]];
+                    const Task &t = tasks[id];
+                    if (static_cast<size_t>(t.link) != li)
+                        continue;
+                    const TaskState &st = state[id];
+                    if (st.pendingDeps > 0 || st.readyTime > now)
+                        continue;
+                    bool better = t.priority < best_prio ||
+                                  (t.priority == best_prio &&
+                                   (st.readyTime < best_ready ||
+                                    (st.readyTime == best_ready &&
+                                     (best == -1 || id < best))));
+                    if (better) {
+                        best_prio = t.priority;
+                        best_ready = st.readyTime;
+                        best = id;
+                    }
+                }
+                if (best < 0)
+                    continue;
+                const Task &t = tasks[best];
+                double finish = now + t.duration;
+                state[best].started = true;
+                result.trace[best] = {best, now, finish};
+                link_free[li] = finish;
+                head[t.stream]++;
+                events.emplace(finish, best);
+                progressed = true;
+            }
+        }
+    };
+
+    try_start();
+    while (finished_count < n) {
+        FSMOE_ASSERT(!events.empty(),
+                     "simulator deadlock: no runnable task; check for "
+                     "dependency cycles or stream-order inversions");
+        auto [t_now, id] = events.top();
+        events.pop();
+        now = t_now;
+        if (state[id].finished)
+            continue;
+        state[id].finished = true;
+        finished_count++;
+        result.opTime[static_cast<size_t>(tasks[id].op)] +=
+            tasks[id].duration;
+        result.makespan = std::max(result.makespan, t_now);
+        for (TaskId dep : dependents[id]) {
+            TaskState &ds = state[dep];
+            ds.pendingDeps--;
+            ds.readyTime = std::max(ds.readyTime, t_now);
+        }
+        try_start();
+    }
+    return result;
+}
+
+std::string
+Simulator::gantt(const TaskGraph &graph, const SimResult &result, int columns)
+{
+    FSMOE_CHECK_ARG(columns >= 10, "gantt needs at least 10 columns");
+    std::ostringstream oss;
+    double span = std::max(result.makespan, 1e-9);
+    for (int s = 0; s < graph.numStreams(); ++s) {
+        std::string row(columns, '.');
+        for (const Task &t : graph.tasks()) {
+            if (t.stream != s || t.duration <= 0.0)
+                continue;
+            const TaskTrace &tr = result.trace[t.id];
+            int c0 = static_cast<int>(tr.start / span * (columns - 1));
+            int c1 = static_cast<int>(tr.finish / span * (columns - 1));
+            char glyph = t.name.empty() ? '#' : t.name[0];
+            for (int c = c0; c <= c1 && c < columns; ++c)
+                row[c] = glyph;
+        }
+        oss << "stream " << s << " |" << row << "|\n";
+    }
+    oss << "makespan " << result.makespan << " ms\n";
+    return oss.str();
+}
+
+} // namespace fsmoe::sim

@@ -1,0 +1,56 @@
+#include "sim/task_graph.h"
+
+namespace fsmoe::sim {
+
+const char *
+opTypeName(OpType t)
+{
+    switch (t) {
+      case OpType::AlltoAll: return "AlltoAll";
+      case OpType::GradAllReduce: return "AllReduce";
+      case OpType::AllGather: return "AllGather";
+      case OpType::ReduceScatter: return "ReduceScatter";
+      case OpType::Experts: return "Experts";
+      case OpType::Routing: return "Routing";
+      case OpType::Order: return "Order";
+      case OpType::Attention: return "Attention";
+      case OpType::Other: return "Other";
+      default: return "?";
+    }
+}
+
+TaskId
+TaskGraph::addTask(std::string name, OpType op, Link link, int stream,
+                   double duration, std::vector<TaskId> deps, int priority)
+{
+    FSMOE_CHECK_ARG(duration >= 0.0, "task '", name,
+                    "' has negative duration ", duration);
+    FSMOE_CHECK_ARG(stream >= 0, "negative stream index");
+    TaskId id = static_cast<TaskId>(tasks_.size());
+    for (TaskId d : deps) {
+        FSMOE_CHECK_ARG(d >= 0 && d < id, "task '", name,
+                        "' depends on unknown task ", d);
+    }
+    Task t;
+    t.id = id;
+    t.name = std::move(name);
+    t.op = op;
+    t.link = link;
+    t.stream = stream;
+    t.duration = duration;
+    t.priority = priority;
+    t.deps = std::move(deps);
+    tasks_.push_back(std::move(t));
+    num_streams_ = std::max(num_streams_, stream + 1);
+    return id;
+}
+
+const Task &
+TaskGraph::task(TaskId id) const
+{
+    FSMOE_CHECK_ARG(id >= 0 && static_cast<size_t>(id) < tasks_.size(),
+                    "task id out of range");
+    return tasks_[id];
+}
+
+} // namespace fsmoe::sim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Task DAG representation consumed by the cluster simulator.
+ *
+ * A schedule (paper Fig. 3) is a set of tasks, each bound to a
+ * *physical link* (exclusive hardware resource: inter-node NIC,
+ * intra-node fabric, or GPU compute) and a *stream* (a FIFO issue
+ * queue, the software-visible CUDA-stream analogue). Dependencies
+ * express data flow, e.g. expert(i) needs ESP-AllGather(i).
+ */
+#ifndef FSMOE_SIM_TASK_GRAPH_H
+#define FSMOE_SIM_TASK_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace fsmoe::sim {
+
+/** Operation classes, matching the paper's Table 2 breakdown rows. */
+enum class OpType
+{
+    AlltoAll,      ///< EP dispatch/combine (inter-node).
+    GradAllReduce, ///< DP gradient synchronisation (inter-node).
+    AllGather,     ///< ESP-AllGather (intra-node).
+    ReduceScatter, ///< ESP-ReduceScatter / MP (intra-node).
+    Experts,       ///< Expert FFN compute.
+    Routing,       ///< Gating function compute.
+    Order,         ///< (I-)Ordering layout transform.
+    Attention,     ///< Attention / other dense compute.
+    Other,         ///< Anything else (residual dense parts).
+    NumOpTypes
+};
+
+/** Short printable name of an OpType. */
+const char *opTypeName(OpType t);
+
+/** Physical exclusive resources a task can occupy. */
+enum class Link
+{
+    InterNode, ///< NIC / InfiniBand path between nodes.
+    IntraNode, ///< NVLink / shared-memory path inside a node.
+    Compute,   ///< The GPU's SMs.
+    NumLinks
+};
+
+/** Identifier of a task inside one TaskGraph. */
+using TaskId = int32_t;
+
+/** One schedulable unit of work. */
+struct Task
+{
+    TaskId id = -1;
+    std::string name;        ///< Human-readable label for traces.
+    OpType op = OpType::Other;
+    Link link = Link::Compute;
+    int stream = 0;          ///< FIFO issue queue index.
+    double duration = 0.0;   ///< Service time in milliseconds.
+    int priority = 0;        ///< Link arbitration class; higher values
+                             ///< yield to lower ones (background
+                             ///< traffic such as gradient AllReduce).
+    std::vector<TaskId> deps; ///< Tasks that must finish first.
+};
+
+/**
+ * An append-only DAG of tasks. Issue order *within a stream* is the
+ * order of addTask calls, mirroring how a runtime enqueues kernels.
+ */
+class TaskGraph
+{
+  public:
+    /**
+     * Append a task.
+     *
+     * @param name     Trace label.
+     * @param op       Operation class (for per-op accounting).
+     * @param link     Physical resource the task occupies.
+     * @param stream   FIFO issue queue.
+     * @param duration Service time in milliseconds (>= 0).
+     * @param deps     Prerequisite task ids (must already exist).
+     * @param priority Arbitration class; tasks with larger values
+     *                 yield the link to concurrently-ready tasks with
+     *                 smaller values.
+     * @return         Id of the new task.
+     */
+    TaskId addTask(std::string name, OpType op, Link link, int stream,
+                   double duration, std::vector<TaskId> deps = {},
+                   int priority = 0);
+
+    const std::vector<Task> &tasks() const { return tasks_; }
+    const Task &task(TaskId id) const;
+    size_t size() const { return tasks_.size(); }
+    bool empty() const { return tasks_.empty(); }
+
+    /** Highest stream index used plus one. */
+    int numStreams() const { return num_streams_; }
+
+  private:
+    std::vector<Task> tasks_;
+    int num_streams_ = 0;
+};
+
+} // namespace fsmoe::sim
+
+#endif // FSMOE_SIM_TASK_GRAPH_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Differential evolution (rand/1/bin) global optimiser.
+ *
+ * Paper §5.3 assigns the gradient bytes that remain after Step 1 to MoE
+ * layers by solving Eq. 5 with differential evolution, noting the solve
+ * runs once before training so wall-clock cost is not critical. This is
+ * a standard DE with box constraints and an optional penalty hook for
+ * the coupled upper-bound constraints of Eq. 5.
+ */
+#ifndef FSMOE_SOLVER_DIFFERENTIAL_EVOLUTION_H
+#define FSMOE_SOLVER_DIFFERENTIAL_EVOLUTION_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fsmoe::solver {
+
+/** Tuning knobs for differential evolution. */
+struct DeConfig
+{
+    int populationSize = 32;   ///< Members per generation (>= 4).
+    int maxGenerations = 200;  ///< Generation budget.
+    double weight = 0.7;       ///< Differential weight F.
+    double crossover = 0.9;    ///< Crossover probability CR.
+    uint64_t seed = 0x0d5eedULL; ///< RNG seed for reproducibility.
+    double tolerance = 1e-9;   ///< Stop when best improves less than this
+                               ///< over a full generation sweep.
+};
+
+/** Result of a DE run. */
+struct DeResult
+{
+    std::vector<double> x; ///< Best member found.
+    double value = 0.0;    ///< Objective at the best member.
+    int generations = 0;   ///< Generations actually executed.
+};
+
+/**
+ * Minimise @p objective over the box [lo_i, hi_i]^d.
+ *
+ * The objective may implement coupled constraints by returning a
+ * penalised value; candidates are always clamped into the box first.
+ */
+DeResult differentialEvolution(
+    const std::function<double(const std::vector<double> &)> &objective,
+    const std::vector<double> &lo, const std::vector<double> &hi,
+    const DeConfig &config = {});
+
+} // namespace fsmoe::solver
+
+#endif // FSMOE_SOLVER_DIFFERENTIAL_EVOLUTION_H

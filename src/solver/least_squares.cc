@@ -1,0 +1,45 @@
+#include "solver/least_squares.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace fsmoe::solver {
+
+LineFit
+fitLine(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    FSMOE_CHECK_ARG(xs.size() == ys.size(), "fitLine length mismatch");
+    FSMOE_CHECK_ARG(xs.size() >= 2, "fitLine needs at least two samples");
+    const double n = static_cast<double>(xs.size());
+
+    double sx = 0.0, sy = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+    }
+    const double mx = sx / n;
+    const double my = sy / n;
+
+    double sxx = 0.0, sxy = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+        sxy += (xs[i] - mx) * (ys[i] - my);
+    }
+    FSMOE_CHECK_ARG(sxx > 0.0, "fitLine requires at least two distinct xs");
+
+    LineFit fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+
+    double ss_res = 0.0, ss_tot = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        double pred = fit.intercept + fit.slope * xs[i];
+        ss_res += (ys[i] - pred) * (ys[i] - pred);
+        ss_tot += (ys[i] - my) * (ys[i] - my);
+    }
+    fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+} // namespace fsmoe::solver

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Ordinary least-squares line fitting.
+ *
+ * The paper's online profiler (§3.2, §6.2) fits linear performance
+ * models t = alpha + beta * n to microbenchmark samples with the least
+ * squares method; this is that fit, plus the r^2 goodness measure the
+ * paper reports in Fig. 5.
+ */
+#ifndef FSMOE_SOLVER_LEAST_SQUARES_H
+#define FSMOE_SOLVER_LEAST_SQUARES_H
+
+#include <cstddef>
+#include <vector>
+
+namespace fsmoe::solver {
+
+/** Result of fitting y = intercept + slope * x. */
+struct LineFit
+{
+    double intercept = 0.0; ///< alpha: startup time.
+    double slope = 0.0;     ///< beta: time per byte / per unit work.
+    double r2 = 0.0;        ///< Coefficient of determination.
+};
+
+/**
+ * Fit y = a + b*x by ordinary least squares.
+ *
+ * @param xs  Sample abscissae (e.g. message sizes in bytes).
+ * @param ys  Sample ordinates (e.g. measured milliseconds).
+ * @return    Fitted line and r^2. Requires at least two distinct xs.
+ */
+LineFit fitLine(const std::vector<double> &xs, const std::vector<double> &ys);
+
+} // namespace fsmoe::solver
+
+#endif // FSMOE_SOLVER_LEAST_SQUARES_H

@@ -1,0 +1,96 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+
+namespace fsmoe {
+
+namespace {
+
+/// Block edge chosen so three blocks fit comfortably in L1/L2.
+constexpr int64_t kBlock = 64;
+
+/// Dimensions of op(X) for a 2-D tensor under a transposition flag.
+std::pair<int64_t, int64_t>
+opShape(const Tensor &x, Trans t)
+{
+    FSMOE_CHECK_ARG(x.dim() == 2, "gemm operand must be 2-D, got ",
+                    x.shapeString());
+    if (t == Trans::No)
+        return {x.size(0), x.size(1)};
+    return {x.size(1), x.size(0)};
+}
+
+} // namespace
+
+void
+gemm(const Tensor &a, Trans ta, const Tensor &b, Trans tb, Tensor &c,
+     float alpha, float beta)
+{
+    auto [m, ka] = opShape(a, ta);
+    auto [kb, n] = opShape(b, tb);
+    FSMOE_CHECK_ARG(ka == kb, "gemm inner dimension mismatch: ", ka, " vs ",
+                    kb);
+    FSMOE_CHECK_ARG(c.dim() == 2 && c.size(0) == m && c.size(1) == n,
+                    "gemm output shape mismatch: want [", m, ", ", n,
+                    "], got ", c.shapeString());
+    const int64_t k = ka;
+
+    float *cd = c.data();
+    if (beta == 0.0f) {
+        std::fill(cd, cd + m * n, 0.0f);
+    } else if (beta != 1.0f) {
+        for (int64_t i = 0; i < m * n; ++i)
+            cd[i] *= beta;
+    }
+
+    const float *ad = a.data();
+    const float *bd = b.data();
+    const int64_t lda = a.size(1);
+    const int64_t ldb = b.size(1);
+
+    auto a_at = [&](int64_t i, int64_t p) {
+        return ta == Trans::No ? ad[i * lda + p] : ad[p * lda + i];
+    };
+
+    for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
+        int64_t i1 = std::min(i0 + kBlock, m);
+        for (int64_t p0 = 0; p0 < k; p0 += kBlock) {
+            int64_t p1 = std::min(p0 + kBlock, k);
+            for (int64_t j0 = 0; j0 < n; j0 += kBlock) {
+                int64_t j1 = std::min(j0 + kBlock, n);
+                for (int64_t i = i0; i < i1; ++i) {
+                    for (int64_t p = p0; p < p1; ++p) {
+                        float av = alpha * a_at(i, p);
+                        if (av == 0.0f)
+                            continue;
+                        if (tb == Trans::No) {
+                            const float *brow = bd + p * ldb;
+                            float *crow = cd + i * n;
+                            for (int64_t j = j0; j < j1; ++j)
+                                crow[j] += av * brow[j];
+                        } else {
+                            // op(B)[p][j] = B[j][p]: strided column walk.
+                            float *crow = cd + i * n;
+                            for (int64_t j = j0; j < j1; ++j)
+                                crow[j] += av * bd[j * ldb + p];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b, Trans ta, Trans tb)
+{
+    auto [m, k] = opShape(a, ta);
+    auto [k2, n] = opShape(b, tb);
+    (void)k;
+    (void)k2;
+    Tensor c({m, n});
+    gemm(a, ta, b, tb, c);
+    return c;
+}
+
+} // namespace fsmoe

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * General matrix multiplication for the CPU numerics substrate.
+ *
+ * Expert feed-forward layers, gate projections and their backward
+ * passes are all GEMMs; this header provides the one kernel they share.
+ * The implementation is a cache-blocked i-k-j loop — not a BLAS rival,
+ * but fast enough for the functional tests, and bit-reproducible.
+ */
+#ifndef FSMOE_TENSOR_GEMM_H
+#define FSMOE_TENSOR_GEMM_H
+
+#include "tensor/tensor.h"
+
+namespace fsmoe {
+
+/** Transposition mode for a GEMM operand. */
+enum class Trans { No, Yes };
+
+/**
+ * Compute C = alpha * op(A) * op(B) + beta * C.
+ *
+ * @param a       Left operand; shape (m,k) or (k,m) when transposed.
+ * @param ta      Whether to use A transposed.
+ * @param b       Right operand; shape (k,n) or (n,k) when transposed.
+ * @param tb      Whether to use B transposed.
+ * @param c       Output matrix of shape (m,n); must be pre-sized.
+ * @param alpha   Scale applied to the product.
+ * @param beta    Scale applied to the existing contents of C.
+ */
+void gemm(const Tensor &a, Trans ta, const Tensor &b, Trans tb, Tensor &c,
+          float alpha = 1.0f, float beta = 0.0f);
+
+/** Convenience wrapper returning a fresh C = op(A) * op(B). */
+Tensor matmul(const Tensor &a, const Tensor &b, Trans ta = Trans::No,
+              Trans tb = Trans::No);
+
+} // namespace fsmoe
+
+#endif // FSMOE_TENSOR_GEMM_H

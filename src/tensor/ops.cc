@@ -1,0 +1,355 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fsmoe {
+
+namespace {
+
+/// Rows/cols of a 2-D tensor with a shape check.
+std::pair<int64_t, int64_t>
+rowsCols(const Tensor &x, const char *what)
+{
+    FSMOE_CHECK_ARG(x.dim() == 2, what, " expects a 2-D tensor, got ",
+                    x.shapeString());
+    return {x.size(0), x.size(1)};
+}
+
+float
+sigmoidScalar(float v)
+{
+    if (v >= 0.0f) {
+        float e = std::exp(-v);
+        return 1.0f / (1.0f + e);
+    }
+    float e = std::exp(v);
+    return e / (1.0f + e);
+}
+
+} // namespace
+
+Tensor
+softmaxRows(const Tensor &logits)
+{
+    auto [rows, cols] = rowsCols(logits, "softmaxRows");
+    Tensor out({rows, cols});
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *in = logits.data() + r * cols;
+        float *o = out.data() + r * cols;
+        float mx = *std::max_element(in, in + cols);
+        // -inf rows (all masked) become uniform zeros rather than NaN.
+        if (!std::isfinite(mx)) {
+            std::fill(o, o + cols, 0.0f);
+            continue;
+        }
+        float sum = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) {
+            float e = std::exp(in[c] - mx);
+            o[c] = e;
+            sum += e;
+        }
+        for (int64_t c = 0; c < cols; ++c)
+            o[c] /= sum;
+    }
+    return out;
+}
+
+Tensor
+softmaxRowsBackward(const Tensor &y, const Tensor &dy)
+{
+    FSMOE_CHECK_ARG(y.sameShape(dy), "softmax backward shape mismatch");
+    auto [rows, cols] = rowsCols(y, "softmaxRowsBackward");
+    Tensor dx({rows, cols});
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *yr = y.data() + r * cols;
+        const float *gr = dy.data() + r * cols;
+        float *dr = dx.data() + r * cols;
+        float dot = 0.0f;
+        for (int64_t c = 0; c < cols; ++c)
+            dot += yr[c] * gr[c];
+        for (int64_t c = 0; c < cols; ++c)
+            dr[c] = yr[c] * (gr[c] - dot);
+    }
+    return dx;
+}
+
+TopK
+topkRows(const Tensor &scores, int k)
+{
+    auto [rows, cols] = rowsCols(scores, "topkRows");
+    FSMOE_CHECK_ARG(k >= 1 && k <= cols, "top-k k=", k, " out of range for ",
+                    cols, " columns");
+    TopK out{Tensor({rows, k}), std::vector<int64_t>(rows * k)};
+    std::vector<int64_t> order(cols);
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *in = scores.data() + r * cols;
+        std::iota(order.begin(), order.end(), 0);
+        std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                          [&](int64_t a, int64_t b) {
+                              if (in[a] != in[b])
+                                  return in[a] > in[b];
+                              return a < b; // deterministic tie-break
+                          });
+        for (int j = 0; j < k; ++j) {
+            out.values.at(r, j) = in[order[j]];
+            out.indices[r * k + j] = order[j];
+        }
+    }
+    return out;
+}
+
+Tensor
+sigmoid(const Tensor &x)
+{
+    Tensor out = x;
+    for (int64_t i = 0; i < out.numel(); ++i)
+        out.flat(i) = sigmoidScalar(out.flat(i));
+    return out;
+}
+
+Tensor
+sigmoidBackward(const Tensor &y, const Tensor &dy)
+{
+    FSMOE_CHECK_ARG(y.sameShape(dy), "sigmoid backward shape mismatch");
+    Tensor dx = dy;
+    for (int64_t i = 0; i < dx.numel(); ++i) {
+        float yi = y.flat(i);
+        dx.flat(i) *= yi * (1.0f - yi);
+    }
+    return dx;
+}
+
+Tensor
+relu(const Tensor &x)
+{
+    Tensor out = x;
+    for (int64_t i = 0; i < out.numel(); ++i)
+        out.flat(i) = std::max(0.0f, out.flat(i));
+    return out;
+}
+
+Tensor
+reluBackward(const Tensor &x, const Tensor &dy)
+{
+    FSMOE_CHECK_ARG(x.sameShape(dy), "relu backward shape mismatch");
+    Tensor dx = dy;
+    for (int64_t i = 0; i < dx.numel(); ++i) {
+        if (x.flat(i) <= 0.0f)
+            dx.flat(i) = 0.0f;
+    }
+    return dx;
+}
+
+Tensor
+silu(const Tensor &x)
+{
+    Tensor out = x;
+    for (int64_t i = 0; i < out.numel(); ++i) {
+        float v = out.flat(i);
+        out.flat(i) = v * sigmoidScalar(v);
+    }
+    return out;
+}
+
+Tensor
+siluBackward(const Tensor &x, const Tensor &dy)
+{
+    FSMOE_CHECK_ARG(x.sameShape(dy), "silu backward shape mismatch");
+    Tensor dx = dy;
+    for (int64_t i = 0; i < dx.numel(); ++i) {
+        float v = x.flat(i);
+        float s = sigmoidScalar(v);
+        dx.flat(i) *= s * (1.0f + v * (1.0f - s));
+    }
+    return dx;
+}
+
+Tensor
+gelu(const Tensor &x)
+{
+    constexpr float kC = 0.7978845608028654f; // sqrt(2/pi)
+    Tensor out = x;
+    for (int64_t i = 0; i < out.numel(); ++i) {
+        float v = out.flat(i);
+        float t = std::tanh(kC * (v + 0.044715f * v * v * v));
+        out.flat(i) = 0.5f * v * (1.0f + t);
+    }
+    return out;
+}
+
+Tensor
+geluBackward(const Tensor &x, const Tensor &dy)
+{
+    FSMOE_CHECK_ARG(x.sameShape(dy), "gelu backward shape mismatch");
+    constexpr float kC = 0.7978845608028654f;
+    Tensor dx = dy;
+    for (int64_t i = 0; i < dx.numel(); ++i) {
+        float v = x.flat(i);
+        float u = kC * (v + 0.044715f * v * v * v);
+        float t = std::tanh(u);
+        float du = kC * (1.0f + 3.0f * 0.044715f * v * v);
+        float d = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+        dx.flat(i) *= d;
+    }
+    return dx;
+}
+
+Tensor
+softplus(const Tensor &x)
+{
+    Tensor out = x;
+    for (int64_t i = 0; i < out.numel(); ++i) {
+        float v = out.flat(i);
+        // log1p(exp(v)) with overflow guard.
+        out.flat(i) = v > 20.0f ? v : std::log1p(std::exp(v));
+    }
+    return out;
+}
+
+std::vector<float>
+l2NormalizeRows(Tensor &x, float eps)
+{
+    auto [rows, cols] = rowsCols(x, "l2NormalizeRows");
+    std::vector<float> norms(rows);
+    for (int64_t r = 0; r < rows; ++r) {
+        float *row = x.data() + r * cols;
+        float ss = 0.0f;
+        for (int64_t c = 0; c < cols; ++c)
+            ss += row[c] * row[c];
+        float norm = std::sqrt(ss);
+        norms[r] = norm;
+        if (norm > eps) {
+            for (int64_t c = 0; c < cols; ++c)
+                row[c] /= norm;
+        }
+    }
+    return norms;
+}
+
+Tensor
+cosineScores(const Tensor &x, const Tensor &w, float eps)
+{
+    auto [n, d] = rowsCols(x, "cosineScores");
+    auto [e, d2] = rowsCols(w, "cosineScores");
+    FSMOE_CHECK_ARG(d == d2, "cosineScores dimension mismatch: ", d, " vs ",
+                    d2);
+    Tensor out({n, e});
+    std::vector<float> wn(e);
+    for (int64_t j = 0; j < e; ++j) {
+        const float *wr = w.data() + j * d;
+        float ss = 0.0f;
+        for (int64_t c = 0; c < d; ++c)
+            ss += wr[c] * wr[c];
+        wn[j] = std::sqrt(ss);
+    }
+    for (int64_t i = 0; i < n; ++i) {
+        const float *xr = x.data() + i * d;
+        float ss = 0.0f;
+        for (int64_t c = 0; c < d; ++c)
+            ss += xr[c] * xr[c];
+        float xn = std::sqrt(ss);
+        for (int64_t j = 0; j < e; ++j) {
+            const float *wr = w.data() + j * d;
+            float dot = 0.0f;
+            for (int64_t c = 0; c < d; ++c)
+                dot += xr[c] * wr[c];
+            out.at(i, j) = dot / std::max(xn * wn[j], eps);
+        }
+    }
+    return out;
+}
+
+Tensor
+layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+          LayerNormCache &cache, float eps)
+{
+    auto [rows, cols] = rowsCols(x, "layerNorm");
+    FSMOE_CHECK_ARG(gamma.numel() == cols && beta.numel() == cols,
+                    "layerNorm parameter size mismatch");
+    cache.mean.resize(rows);
+    cache.invStd.resize(rows);
+    cache.normalized = Tensor({rows, cols});
+    Tensor out({rows, cols});
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *in = x.data() + r * cols;
+        double sum = 0.0;
+        for (int64_t c = 0; c < cols; ++c)
+            sum += in[c];
+        const float mu = static_cast<float>(sum / cols);
+        double var = 0.0;
+        for (int64_t c = 0; c < cols; ++c)
+            var += (in[c] - mu) * (in[c] - mu);
+        const float inv = 1.0f / std::sqrt(
+                                     static_cast<float>(var / cols) + eps);
+        cache.mean[r] = mu;
+        cache.invStd[r] = inv;
+        float *norm = cache.normalized.data() + r * cols;
+        float *o = out.data() + r * cols;
+        for (int64_t c = 0; c < cols; ++c) {
+            norm[c] = (in[c] - mu) * inv;
+            o[c] = norm[c] * gamma.flat(c) + beta.flat(c);
+        }
+    }
+    return out;
+}
+
+Tensor
+layerNormBackward(const Tensor &dy, const Tensor &gamma,
+                  const LayerNormCache &cache, Tensor &d_gamma,
+                  Tensor &d_beta)
+{
+    auto [rows, cols] = rowsCols(dy, "layerNormBackward");
+    FSMOE_CHECK_ARG(d_gamma.numel() == cols && d_beta.numel() == cols,
+                    "layerNorm gradient buffers mis-sized");
+    Tensor dx({rows, cols});
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *g = dy.data() + r * cols;
+        const float *norm = cache.normalized.data() + r * cols;
+        const float inv = cache.invStd[r];
+        // d_xhat = dy * gamma; dx derives from the standard LN
+        // backward: inv * (d_xhat - mean(d_xhat) - xhat*mean(d_xhat*xhat)).
+        double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+        for (int64_t c = 0; c < cols; ++c) {
+            const float dxh = g[c] * gamma.flat(c);
+            sum_dxhat += dxh;
+            sum_dxhat_xhat += dxh * norm[c];
+            d_gamma.flat(c) += g[c] * norm[c];
+            d_beta.flat(c) += g[c];
+        }
+        const float m1 = static_cast<float>(sum_dxhat / cols);
+        const float m2 = static_cast<float>(sum_dxhat_xhat / cols);
+        float *o = dx.data() + r * cols;
+        for (int64_t c = 0; c < cols; ++c) {
+            const float dxh = g[c] * gamma.flat(c);
+            o[c] = inv * (dxh - m1 - norm[c] * m2);
+        }
+    }
+    return dx;
+}
+
+Tensor
+sumDim0(const Tensor &x)
+{
+    auto [rows, cols] = rowsCols(x, "sumDim0");
+    Tensor out({cols});
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *row = x.data() + r * cols;
+        for (int64_t c = 0; c < cols; ++c)
+            out.flat(c) += row[c];
+    }
+    return out;
+}
+
+float
+mean(const Tensor &x)
+{
+    FSMOE_CHECK_ARG(x.numel() > 0, "mean of empty tensor");
+    double s = 0.0;
+    for (int64_t i = 0; i < x.numel(); ++i)
+        s += x.flat(i);
+    return static_cast<float>(s / static_cast<double>(x.numel()));
+}
+
+} // namespace fsmoe

@@ -1,0 +1,44 @@
+#include "tensor/rng.h"
+
+namespace fsmoe {
+
+float
+Rng::uniform(float lo, float hi)
+{
+    std::uniform_real_distribution<float> dist(lo, hi);
+    return dist(engine_);
+}
+
+float
+Rng::normal(float mean, float stddev)
+{
+    std::normal_distribution<float> dist(mean, stddev);
+    return dist(engine_);
+}
+
+int64_t
+Rng::integer(int64_t lo, int64_t hi)
+{
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+Tensor
+Rng::normalTensor(std::vector<int64_t> shape, float mean, float stddev)
+{
+    Tensor t(std::move(shape));
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t.flat(i) = normal(mean, stddev);
+    return t;
+}
+
+Tensor
+Rng::uniformTensor(std::vector<int64_t> shape, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t.flat(i) = uniform(lo, hi);
+    return t;
+}
+
+} // namespace fsmoe

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic random number generation for tests, workload
+ * synthesis, and the noisy GShard gate.
+ */
+#ifndef FSMOE_TENSOR_RNG_H
+#define FSMOE_TENSOR_RNG_H
+
+#include <cstdint>
+#include <random>
+
+#include "tensor/tensor.h"
+
+namespace fsmoe {
+
+/**
+ * A seeded generator producing reproducible tensors. Every stochastic
+ * component in FSMoE takes an explicit Rng so that distributed and
+ * single-process runs can be compared bit-for-bit.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+    /** Uniform float in [lo, hi). */
+    float uniform(float lo = 0.0f, float hi = 1.0f);
+
+    /** Standard normal sample scaled by @p stddev around @p mean. */
+    float normal(float mean = 0.0f, float stddev = 1.0f);
+
+    /** Uniform integer in [lo, hi]. */
+    int64_t integer(int64_t lo, int64_t hi);
+
+    /** Tensor of the given shape filled with N(mean, stddev) samples. */
+    Tensor normalTensor(std::vector<int64_t> shape, float mean = 0.0f,
+                        float stddev = 1.0f);
+
+    /** Tensor of the given shape filled with U[lo, hi) samples. */
+    Tensor uniformTensor(std::vector<int64_t> shape, float lo = 0.0f,
+                         float hi = 1.0f);
+
+    /** Access the raw engine (for std::shuffle and friends). */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace fsmoe
+
+#endif // FSMOE_TENSOR_RNG_H

@@ -1,0 +1,244 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace fsmoe {
+
+namespace {
+
+int64_t
+shapeNumel(const std::vector<int64_t> &shape)
+{
+    int64_t n = 1;
+    for (int64_t s : shape) {
+        FSMOE_CHECK_ARG(s >= 0, "negative extent in shape");
+        n *= s;
+    }
+    return n;
+}
+
+} // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)), data_(shapeNumel(shape_), 0.0f)
+{
+    FSMOE_CHECK_ARG(shape_.size() >= 1 && shape_.size() <= 4,
+                    "tensors must have 1-4 dimensions, got ", shape_.size());
+}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values))
+{
+    FSMOE_CHECK_ARG(shapeNumel(shape_) == numel(),
+                    "value count ", numel(), " does not match shape ",
+                    shapeString());
+}
+
+int64_t
+Tensor::size(int i) const
+{
+    int d = dim();
+    if (i < 0)
+        i += d;
+    FSMOE_CHECK_ARG(i >= 0 && i < d, "dimension index out of range");
+    return shape_[i];
+}
+
+void
+Tensor::checkIndex(int64_t flat_index) const
+{
+    FSMOE_ASSERT(flat_index >= 0 && flat_index < numel(),
+                 "flat index ", flat_index, " out of range for ",
+                 shapeString());
+}
+
+float &
+Tensor::flat(int64_t i)
+{
+    checkIndex(i);
+    return data_[i];
+}
+
+float
+Tensor::flat(int64_t i) const
+{
+    checkIndex(i);
+    return data_[i];
+}
+
+int64_t
+Tensor::offset2(int64_t i, int64_t j) const
+{
+    FSMOE_ASSERT(dim() == 2, "2-D access on ", shapeString());
+    FSMOE_ASSERT(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1],
+                 "index (", i, ",", j, ") out of range for ", shapeString());
+    return i * shape_[1] + j;
+}
+
+int64_t
+Tensor::offset3(int64_t i, int64_t j, int64_t k) const
+{
+    FSMOE_ASSERT(dim() == 3, "3-D access on ", shapeString());
+    FSMOE_ASSERT(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] &&
+                 k >= 0 && k < shape_[2],
+                 "index (", i, ",", j, ",", k, ") out of range for ",
+                 shapeString());
+    return (i * shape_[1] + j) * shape_[2] + k;
+}
+
+float &
+Tensor::at(int64_t i, int64_t j)
+{
+    return data_[offset2(i, j)];
+}
+
+float
+Tensor::at(int64_t i, int64_t j) const
+{
+    return data_[offset2(i, j)];
+}
+
+float &
+Tensor::at(int64_t i, int64_t j, int64_t k)
+{
+    return data_[offset3(i, j, k)];
+}
+
+float
+Tensor::at(int64_t i, int64_t j, int64_t k) const
+{
+    return data_[offset3(i, j, k)];
+}
+
+Tensor
+Tensor::reshape(std::vector<int64_t> new_shape) const
+{
+    int64_t known = 1;
+    int infer = -1;
+    for (size_t i = 0; i < new_shape.size(); ++i) {
+        if (new_shape[i] == -1) {
+            FSMOE_CHECK_ARG(infer == -1, "at most one -1 extent in reshape");
+            infer = static_cast<int>(i);
+        } else {
+            known *= new_shape[i];
+        }
+    }
+    if (infer >= 0) {
+        FSMOE_CHECK_ARG(known > 0 && numel() % known == 0,
+                        "cannot infer extent: ", numel(), " vs ", known);
+        new_shape[infer] = numel() / known;
+    }
+    FSMOE_CHECK_ARG(shapeNumel(new_shape) == numel(),
+                    "reshape element count mismatch");
+    Tensor out;
+    out.shape_ = std::move(new_shape);
+    out.data_ = data_;
+    return out;
+}
+
+Tensor
+Tensor::sliceDim0(int64_t begin, int64_t end) const
+{
+    FSMOE_CHECK_ARG(dim() >= 1, "slice of empty tensor");
+    FSMOE_CHECK_ARG(begin >= 0 && begin <= end && end <= shape_[0],
+                    "bad slice [", begin, ",", end, ") on ", shapeString());
+    int64_t row = numel() / std::max<int64_t>(shape_[0], 1);
+    std::vector<int64_t> out_shape = shape_;
+    out_shape[0] = end - begin;
+    Tensor out(out_shape);
+    std::copy(data_.begin() + begin * row, data_.begin() + end * row,
+              out.data_.begin());
+    return out;
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+Tensor::add_(const Tensor &other)
+{
+    FSMOE_CHECK_ARG(sameShape(other), "add_ shape mismatch: ", shapeString(),
+                    " vs ", other.shapeString());
+    for (int64_t i = 0; i < numel(); ++i)
+        data_[i] += other.data_[i];
+}
+
+void
+Tensor::scale_(float s)
+{
+    for (float &v : data_)
+        v *= s;
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (size_t i = 0; i < shape_.size(); ++i) {
+        if (i)
+            oss << ", ";
+        oss << shape_[i];
+    }
+    oss << "]";
+    return oss.str();
+}
+
+Tensor
+Tensor::full(std::vector<int64_t> shape, float v)
+{
+    Tensor t(std::move(shape));
+    t.fill(v);
+    return t;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    Tensor out = a;
+    out.add_(b);
+    return out;
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    FSMOE_CHECK_ARG(a.sameShape(b), "sub shape mismatch");
+    Tensor out = a;
+    for (int64_t i = 0; i < out.numel(); ++i)
+        out.flat(i) -= b.flat(i);
+    return out;
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    FSMOE_CHECK_ARG(a.sameShape(b), "mul shape mismatch");
+    Tensor out = a;
+    for (int64_t i = 0; i < out.numel(); ++i)
+        out.flat(i) *= b.flat(i);
+    return out;
+}
+
+float
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    FSMOE_CHECK_ARG(a.sameShape(b), "maxAbsDiff shape mismatch");
+    float m = 0.0f;
+    for (int64_t i = 0; i < a.numel(); ++i)
+        m = std::max(m, std::fabs(a.flat(i) - b.flat(i)));
+    return m;
+}
+
+bool
+allClose(const Tensor &a, const Tensor &b, float tol)
+{
+    return a.sameShape(b) && maxAbsDiff(a, b) <= tol;
+}
+
+} // namespace fsmoe

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A minimal dense tensor for the FSMoE CPU numerics substrate.
+ *
+ * The paper's system runs its math on CUDA; model quality and routing
+ * behaviour depend only on the math itself, so the reproduction uses a
+ * contiguous row-major float tensor on the host. The class deliberately
+ * stays small: shape bookkeeping, element access, and a few fill
+ * helpers. All heavy math lives in gemm.h and ops.h as free functions.
+ */
+#ifndef FSMOE_TENSOR_TENSOR_H
+#define FSMOE_TENSOR_TENSOR_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace fsmoe {
+
+/**
+ * Dense row-major float tensor with value semantics.
+ *
+ * Supports 1-4 dimensional shapes, which covers everything an MoE layer
+ * needs: (B,L,M) activations, (E,T,M) dispatched layouts, and (M,H)
+ * weight matrices.
+ */
+class Tensor
+{
+  public:
+    /** An empty zero-dimensional tensor. */
+    Tensor() = default;
+
+    /** Construct a zero-filled tensor of the given shape. */
+    explicit Tensor(std::vector<int64_t> shape);
+
+    /** Construct from shape and explicit contents (size must match). */
+    Tensor(std::vector<int64_t> shape, std::vector<float> values);
+
+    /** Total number of elements. */
+    int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+    /** Number of dimensions. */
+    int dim() const { return static_cast<int>(shape_.size()); }
+
+    /** Extent of dimension @p i (negative indices count from the back). */
+    int64_t size(int i) const;
+
+    /** The full shape vector. */
+    const std::vector<int64_t> &shape() const { return shape_; }
+
+    /** Raw contiguous storage. */
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Flat element access with bounds checking. */
+    float &flat(int64_t i);
+    float flat(int64_t i) const;
+
+    /** 2-D element access; tensor must be 2-D. */
+    float &at(int64_t i, int64_t j);
+    float at(int64_t i, int64_t j) const;
+
+    /** 3-D element access; tensor must be 3-D. */
+    float &at(int64_t i, int64_t j, int64_t k);
+    float at(int64_t i, int64_t j, int64_t k) const;
+
+    /**
+     * Reinterpret the contents with a new shape of equal element count.
+     * One extent may be -1 and is inferred.
+     */
+    Tensor reshape(std::vector<int64_t> new_shape) const;
+
+    /** Copy of row block [begin, end) along dimension 0. */
+    Tensor sliceDim0(int64_t begin, int64_t end) const;
+
+    /** Set every element to @p value. */
+    void fill(float value);
+
+    /** Elementwise in-place accumulate: this += other (same shape). */
+    void add_(const Tensor &other);
+
+    /** Elementwise in-place scale: this *= s. */
+    void scale_(float s);
+
+    /** Human-readable shape, e.g. "[4, 1024, 512]". */
+    std::string shapeString() const;
+
+    /** True when shapes match exactly. */
+    bool sameShape(const Tensor &other) const { return shape_ == other.shape_; }
+
+    /** Zero-filled tensor of the given shape. */
+    static Tensor zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+
+    /** Tensor of the given shape with every element equal to @p v. */
+    static Tensor full(std::vector<int64_t> shape, float v);
+
+  private:
+    void checkIndex(int64_t flat_index) const;
+    int64_t offset2(int64_t i, int64_t j) const;
+    int64_t offset3(int64_t i, int64_t j, int64_t k) const;
+
+    std::vector<int64_t> shape_;
+    std::vector<float> data_;
+};
+
+/** Elementwise c = a + b (shapes must match). */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** Elementwise c = a - b (shapes must match). */
+Tensor sub(const Tensor &a, const Tensor &b);
+
+/** Elementwise Hadamard product c = a * b (shapes must match). */
+Tensor mul(const Tensor &a, const Tensor &b);
+
+/** Maximum absolute elementwise difference between two tensors. */
+float maxAbsDiff(const Tensor &a, const Tensor &b);
+
+/** True when all elements differ by at most @p tol. */
+bool allClose(const Tensor &a, const Tensor &b, float tol = 1e-5f);
+
+} // namespace fsmoe
+
+#endif // FSMOE_TENSOR_TENSOR_H

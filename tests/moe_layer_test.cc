@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Integration tests for the full MoeLayer: distributed execution
+ * (EP x ESP with AlltoAll/AllGather/ReduceScatter) must match the
+ * single-rank reference token-for-token in both directions, hooks must
+ * fire, and a training loop must reduce a regression loss.
+ */
+#include <gtest/gtest.h>
+
+#include "core/moe_layer.h"
+#include "test_util.h"
+
+namespace fsmoe::core {
+namespace {
+
+/** Per-rank random inputs with a deterministic seed. */
+std::vector<Tensor>
+makeInputs(int world, int64_t tokens, int64_t embed, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Tensor> xs;
+    for (int r = 0; r < world; ++r)
+        xs.push_back(rng.normalTensor({tokens, embed}));
+    return xs;
+}
+
+MoeLayerOptions
+baseOptions()
+{
+    MoeLayerOptions opt;
+    opt.embed = 16;
+    opt.hidden = 24;
+    opt.numExperts = 4;
+    opt.topK = 2;
+    opt.capacityFactor = 0.0; // no drops: distributed == reference
+    opt.seed = 77;
+    return opt;
+}
+
+/**
+ * Distributed-vs-reference equivalence across layouts, gates, orders
+ * and expert types. The reference is the same layer with numEp =
+ * numEsp = 1 processing each rank's tokens; identical seeds guarantee
+ * identical weights.
+ */
+struct LayoutCase
+{
+    int ep, esp;
+    GateKind gate;
+    OrderKind order;
+    FfnType ffn;
+};
+
+class MoeEquivalenceTest : public ::testing::TestWithParam<LayoutCase>
+{
+};
+
+TEST_P(MoeEquivalenceTest, ForwardMatchesSingleRankReference)
+{
+    const LayoutCase &lc = GetParam();
+    MoeLayerOptions opt = baseOptions();
+    opt.numEp = lc.ep;
+    opt.numEsp = lc.esp;
+    opt.gate = lc.gate;
+    opt.order = lc.order;
+    opt.ffn = lc.ffn;
+
+    MoeLayer dist_layer(opt);
+    MoeLayerOptions ref_opt = opt;
+    ref_opt.numEp = 1;
+    ref_opt.numEsp = 1;
+    MoeLayer ref_layer(ref_opt);
+
+    const int world = dist_layer.worldSize();
+    auto xs = makeInputs(world, 8, opt.embed, 31);
+    auto ys = dist_layer.forward(xs);
+    for (int r = 0; r < world; ++r) {
+        auto ref = ref_layer.forward({xs[r]});
+        test::expectClose(ys[r], ref[0], 2e-4f, "distributed forward");
+    }
+}
+
+TEST_P(MoeEquivalenceTest, BackwardMatchesSingleRankReference)
+{
+    const LayoutCase &lc = GetParam();
+    MoeLayerOptions opt = baseOptions();
+    opt.numEp = lc.ep;
+    opt.numEsp = lc.esp;
+    opt.gate = lc.gate;
+    opt.order = lc.order;
+    opt.ffn = lc.ffn;
+
+    MoeLayer dist_layer(opt);
+    MoeLayerOptions ref_opt = opt;
+    ref_opt.numEp = 1;
+    ref_opt.numEsp = 1;
+
+    const int world = dist_layer.worldSize();
+    auto xs = makeInputs(world, 8, opt.embed, 37);
+    auto gs = makeInputs(world, 8, opt.embed, 38);
+    dist_layer.forward(xs);
+    auto dxs = dist_layer.backward(gs);
+    for (int r = 0; r < world; ++r) {
+        MoeLayer ref_layer(ref_opt);
+        ref_layer.forward({xs[r]});
+        auto ref = ref_layer.backward({gs[r]});
+        test::expectClose(dxs[r], ref[0], 3e-4f, "distributed backward");
+    }
+}
+
+std::string
+layoutName(const ::testing::TestParamInfo<LayoutCase> &info)
+{
+    const LayoutCase &c = info.param;
+    std::string name = "ep" + std::to_string(c.ep) + "_esp" +
+                       std::to_string(c.esp);
+    name += c.gate == GateKind::GShard      ? "_gshard"
+            : c.gate == GateKind::Sigmoid   ? "_sigmoid"
+            : c.gate == GateKind::XMoe      ? "_xmoe"
+                                            : "_ec";
+    name += c.order == OrderKind::TutelSparse ? "_tutel" : "_gshardord";
+    name += c.ffn == FfnType::Mixtral ? "_mixtral" : "_simple";
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, MoeEquivalenceTest,
+    ::testing::Values(
+        LayoutCase{2, 1, GateKind::GShard, OrderKind::TutelSparse,
+                   FfnType::Simple},
+        LayoutCase{1, 2, GateKind::GShard, OrderKind::TutelSparse,
+                   FfnType::Simple},
+        LayoutCase{2, 2, GateKind::GShard, OrderKind::TutelSparse,
+                   FfnType::Simple},
+        LayoutCase{4, 2, GateKind::GShard, OrderKind::TutelSparse,
+                   FfnType::Simple},
+        LayoutCase{2, 2, GateKind::Sigmoid, OrderKind::TutelSparse,
+                   FfnType::Simple},
+        LayoutCase{2, 2, GateKind::XMoe, OrderKind::GShardEinsum,
+                   FfnType::Mixtral},
+        LayoutCase{2, 2, GateKind::ExpertChoice, OrderKind::TutelSparse,
+                   FfnType::Mixtral},
+        LayoutCase{2, 3, GateKind::GShard, OrderKind::GShardEinsum,
+                   FfnType::Mixtral}),
+    layoutName);
+
+TEST(MoeLayer, AlltoAllAlgorithmsProduceIdenticalOutputs)
+{
+    MoeLayerOptions opt = baseOptions();
+    opt.numEp = 4;
+    auto xs = makeInputs(4, 8, opt.embed, 41);
+
+    opt.a2a = dist::A2aAlgo::NcclDirect;
+    MoeLayer direct(opt);
+    auto y_direct = direct.forward(xs);
+
+    for (auto algo : {dist::A2aAlgo::Hier1D, dist::A2aAlgo::Hier2D}) {
+        opt.a2a = algo;
+        MoeLayer layer(opt);
+        auto y = layer.forward(xs);
+        for (int r = 0; r < 4; ++r)
+            test::expectClose(y[r], y_direct[r], 1e-6f, "a2a algo");
+    }
+}
+
+TEST(MoeLayer, EndToEndGradientMatchesFiniteDifference)
+{
+    MoeLayerOptions opt = baseOptions();
+    opt.numEp = 2;
+    opt.numEsp = 2;
+    MoeLayer layer(opt);
+    auto xs = makeInputs(4, 6, opt.embed, 43);
+    auto coeff = makeInputs(4, 6, opt.embed, 44);
+
+    layer.forward(xs);
+    auto dxs = layer.backward(coeff);
+
+    auto loss = [&]() {
+        auto ys = layer.forward(xs);
+        double s = 0.0;
+        for (int r = 0; r < 4; ++r)
+            for (int64_t i = 0; i < ys[r].numel(); ++i)
+                s += ys[r].flat(i) * coeff[r].flat(i);
+        return s;
+    };
+    // Probe rank 0's input only (the others are symmetric).
+    test::expectGradMatches(xs[0], dxs[0], loss, 1e-2, 3e-2, 16);
+}
+
+TEST(MoeLayer, CapacityDropsAreCounted)
+{
+    MoeLayerOptions opt = baseOptions();
+    opt.capacityFactor = 0.5; // deliberately tight
+    MoeLayer layer(opt);
+    auto xs = makeInputs(1, 16, opt.embed, 47);
+    layer.forward(xs);
+    EXPECT_GT(layer.dropped(0), 0);
+
+    MoeLayerOptions loose = baseOptions();
+    loose.capacityFactor = 0.0;
+    MoeLayer layer2(loose);
+    layer2.forward(xs);
+    EXPECT_EQ(layer2.dropped(0), 0);
+}
+
+/** Counts hook invocations and checks payload mutability. */
+class CountingCallback : public CallbackBase
+{
+  public:
+    void beforeMoeStart(HookContext &ctx) override
+    {
+        counts[0]++;
+        last_start_shape = ctx.payload->shapeString();
+    }
+    void beforeDispatch(HookContext &) override { counts[1]++; }
+    void afterDispatch(HookContext &) override { counts[2]++; }
+    void beforeCombine(HookContext &) override { counts[3]++; }
+    void afterCombine(HookContext &) override { counts[4]++; }
+    void beforeMoeEnd(HookContext &) override { counts[5]++; }
+
+    int counts[6] = {0, 0, 0, 0, 0, 0};
+    std::string last_start_shape;
+};
+
+TEST(MoeLayer, HooksFireOncePerRankPerPoint)
+{
+    MoeLayerOptions opt = baseOptions();
+    opt.numEp = 2;
+    opt.numEsp = 2;
+    MoeLayer layer(opt);
+    auto cb = std::make_shared<CountingCallback>();
+    layer.addCallback(cb);
+    auto xs = makeInputs(4, 8, opt.embed, 51);
+    layer.forward(xs);
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(cb->counts[i], 4) << "hook point " << i;
+    EXPECT_EQ(cb->last_start_shape, "[8, 16]");
+}
+
+/** A compression-style hook: scale on dispatch, undo after. */
+class ScalingCallback : public CallbackBase
+{
+  public:
+    void beforeDispatch(HookContext &ctx) override
+    {
+        ctx.payload->scale_(0.5f);
+    }
+    void afterDispatch(HookContext &ctx) override
+    {
+        ctx.payload->scale_(2.0f);
+    }
+};
+
+TEST(MoeLayer, InverseHookPairIsTransparent)
+{
+    MoeLayerOptions opt = baseOptions();
+    opt.numEp = 2;
+    auto xs = makeInputs(2, 8, opt.embed, 53);
+
+    MoeLayer plain(opt);
+    auto y_plain = plain.forward(xs);
+
+    MoeLayer hooked(opt);
+    hooked.addCallback(std::make_shared<ScalingCallback>());
+    auto y_hooked = hooked.forward(xs);
+    for (int r = 0; r < 2; ++r)
+        test::expectClose(y_hooked[r], y_plain[r], 1e-5f,
+                          "hooked forward");
+}
+
+TEST(MoeLayer, TrainingStepReducesLoss)
+{
+    MoeLayerOptions opt = baseOptions();
+    opt.numEp = 2;
+    opt.numEsp = 2;
+    MoeLayer layer(opt);
+    const int world = layer.worldSize();
+    auto xs = makeInputs(world, 8, opt.embed, 57);
+    auto targets = makeInputs(world, 8, opt.embed, 58);
+
+    auto compute_loss = [&](const std::vector<Tensor> &ys) {
+        double s = 0.0;
+        int64_t n = 0;
+        for (int r = 0; r < world; ++r) {
+            for (int64_t i = 0; i < ys[r].numel(); ++i) {
+                double d = ys[r].flat(i) - targets[r].flat(i);
+                s += d * d;
+                n++;
+            }
+        }
+        return s / n;
+    };
+
+    double first_loss = 0.0, last_loss = 0.0;
+    for (int step = 0; step < 60; ++step) {
+        auto ys = layer.forward(xs);
+        double loss = compute_loss(ys);
+        if (step == 0)
+            first_loss = loss;
+        last_loss = loss;
+        std::vector<Tensor> grads(world);
+        for (int r = 0; r < world; ++r) {
+            grads[r] = sub(ys[r], targets[r]);
+            grads[r].scale_(2.0f / (world * ys[r].numel()));
+        }
+        layer.zeroGrad();
+        layer.backward(grads);
+        layer.syncReplicatedGrads();
+        layer.sgdStep(10.0f);
+    }
+    EXPECT_LT(last_loss, 0.75 * first_loss)
+        << "training failed to reduce the loss (first " << first_loss
+        << ", last " << last_loss << ")";
+}
+
+TEST(MoeLayer, SyncKeepsGateReplicasIdentical)
+{
+    MoeLayerOptions opt = baseOptions();
+    opt.numEp = 2;
+    opt.numEsp = 2;
+    MoeLayer layer(opt);
+    const int world = layer.worldSize();
+    auto xs = makeInputs(world, 8, opt.embed, 61);
+    auto gs = makeInputs(world, 8, opt.embed, 62);
+    layer.zeroGrad();
+    layer.forward(xs);
+    layer.backward(gs);
+    layer.syncReplicatedGrads();
+    layer.sgdStep(0.1f);
+    auto p0 = layer.gate(0).params();
+    for (int r = 1; r < world; ++r) {
+        auto pr = layer.gate(r).params();
+        for (size_t i = 0; i < p0.size(); ++i)
+            test::expectClose(*p0[i], *pr[i], 1e-6f, "gate replica");
+    }
+}
+
+TEST(MoeLayer, RejectsInvalidConfigurations)
+{
+    MoeLayerOptions opt = baseOptions();
+    opt.numExperts = 3;
+    opt.numEp = 2; // 3 % 2 != 0
+    EXPECT_EXIT({ MoeLayer layer(opt); }, ::testing::ExitedWithCode(1),
+                "divisible");
+}
+
+} // namespace
+} // namespace fsmoe::core

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the Order/I-Order sub-module (both kernels) and the two
+ * expert networks, including capacity dropping, combine gradients, and
+ * ESP hidden-dimension sharding.
+ */
+#include <gtest/gtest.h>
+
+#include "core/expert.h"
+#include "core/gate.h"
+#include "core/order.h"
+#include "test_util.h"
+
+namespace fsmoe::core {
+namespace {
+
+GateResult
+fixedRouting()
+{
+    // 4 tokens, 2 experts, k=2 with fixed weights.
+    GateResult r;
+    r.assignments = {
+        {0, 0, 0.7f}, {0, 1, 0.3f}, {1, 1, 0.9f}, {1, 0, 0.1f},
+        {2, 0, 0.5f}, {2, 1, 0.5f}, {3, 1, 1.0f}, {3, 0, 0.0f},
+    };
+    return r;
+}
+
+TEST(Order, BothKernelsProduceIdenticalLayouts)
+{
+    Rng rng(3);
+    Tensor x = rng.normalTensor({4, 6});
+    GateResult routing = fixedRouting();
+    OrderMap map_a, map_b;
+    Order tutel(OrderKind::TutelSparse), gshard(OrderKind::GShardEinsum);
+    Tensor ya = tutel.forward(x, routing, 2, 4, map_a);
+    Tensor yb = gshard.forward(x, routing, 2, 4, map_b);
+    test::expectClose(ya, yb, 1e-6f, "order kernels");
+    EXPECT_EQ(map_a.slotToken, map_b.slotToken);
+}
+
+TEST(Order, DispatchPlacesTokensAtAssignedSlots)
+{
+    Rng rng(4);
+    Tensor x = rng.normalTensor({4, 6});
+    GateResult routing = fixedRouting();
+    OrderMap map;
+    Order order(OrderKind::TutelSparse);
+    Tensor y = order.forward(x, routing, 2, 4, map);
+    EXPECT_EQ(y.size(0), 2);
+    EXPECT_EQ(y.size(1), 4);
+    // Expert 0 receives tokens 0, 1, 2, 3 in assignment order.
+    for (int64_t slot = 0; slot < 4; ++slot) {
+        int64_t t = map.slotToken[slot];
+        ASSERT_GE(t, 0);
+        for (int64_t c = 0; c < 6; ++c)
+            EXPECT_EQ(y.at(0, slot, c), x.at(t, c));
+    }
+}
+
+TEST(Order, CapacityDropsOverflowFirstComeFirstServed)
+{
+    Rng rng(5);
+    Tensor x = rng.normalTensor({4, 6});
+    GateResult routing = fixedRouting();
+    OrderMap map;
+    Order order(OrderKind::TutelSparse);
+    order.forward(x, routing, 2, 2, map); // capacity 2 < 4 per expert
+    EXPECT_EQ(map.droppedCount(), 4);
+    // First two assignments per expert survive.
+    EXPECT_GE(map.assignmentSlot[0], 0); // token 0 -> expert 0
+    EXPECT_GE(map.assignmentSlot[1], 0); // token 0 -> expert 1
+    EXPECT_GE(map.assignmentSlot[2], 0); // token 1 -> expert 1
+    EXPECT_GE(map.assignmentSlot[3], 0); // token 1 -> expert 0
+    EXPECT_EQ(map.assignmentSlot[4], -1);
+    EXPECT_EQ(map.assignmentSlot[7], -1);
+}
+
+TEST(Order, CombineAppliesGateWeights)
+{
+    Tensor x({2, 2}, {1, 2, 3, 4});
+    GateResult routing;
+    routing.assignments = {{0, 0, 0.5f}, {1, 0, 2.0f}};
+    OrderMap map;
+    Order order(OrderKind::TutelSparse);
+    Tensor disp = order.forward(x, routing, 1, 2, map);
+    Tensor out = order.combine(disp, map);
+    EXPECT_EQ(out.at(0, 0), 0.5f);
+    EXPECT_EQ(out.at(0, 1), 1.0f);
+    EXPECT_EQ(out.at(1, 0), 6.0f);
+    EXPECT_EQ(out.at(1, 1), 8.0f);
+}
+
+TEST(Order, RoundTripWithUnitWeightsIsIdentity)
+{
+    Rng rng(6);
+    Tensor x = rng.normalTensor({5, 3});
+    GateResult routing;
+    for (int64_t t = 0; t < 5; ++t)
+        routing.assignments.push_back({t, 0, 1.0f});
+    OrderMap map;
+    Order order(OrderKind::TutelSparse);
+    Tensor disp = order.forward(x, routing, 1, 5, map);
+    Tensor out = order.combine(disp, map);
+    test::expectClose(out, x, 1e-6f, "order round trip");
+}
+
+TEST(Order, BackwardGathersDispatchGradient)
+{
+    Rng rng(7);
+    Tensor x = rng.normalTensor({4, 6});
+    GateResult routing = fixedRouting();
+    OrderMap map;
+    Order order(OrderKind::TutelSparse);
+    order.forward(x, routing, 2, 4, map);
+    Tensor d_disp = rng.normalTensor({2, 4, 6});
+    Tensor dx = order.backward(d_disp, map);
+    // Token 2 went to expert 0 and expert 1; its gradient is the sum.
+    int64_t s0 = map.assignmentSlot[4];
+    int64_t s1 = map.assignmentSlot[5];
+    for (int64_t c = 0; c < 6; ++c) {
+        EXPECT_NEAR(dx.at(2, c),
+                    d_disp.flat(s0 * 6 + c) + d_disp.flat(s1 * 6 + c),
+                    1e-6f);
+    }
+}
+
+TEST(Order, CombineBackwardMatchesFiniteDifference)
+{
+    Rng rng(8);
+    Tensor x = rng.normalTensor({4, 6});
+    GateResult routing = fixedRouting();
+    OrderMap map;
+    Order order(OrderKind::TutelSparse);
+    Tensor disp = order.forward(x, routing, 2, 4, map);
+    Tensor d_out = rng.normalTensor({4, 6});
+
+    Tensor d_disp;
+    std::vector<float> d_weights;
+    order.combineBackward(d_out, disp, map, d_disp, d_weights);
+
+    auto loss = [&]() {
+        Tensor out = order.combine(disp, map);
+        double s = 0.0;
+        for (int64_t i = 0; i < out.numel(); ++i)
+            s += out.flat(i) * d_out.flat(i);
+        return s;
+    };
+    test::expectGradMatches(disp, d_disp, loss, 1e-3, 1e-2);
+    // Weight gradient: perturb map weights directly.
+    for (size_t i = 0; i < routing.assignments.size(); ++i) {
+        int64_t slot = map.assignmentSlot[i];
+        if (slot < 0)
+            continue;
+        float saved = map.slotWeight[slot];
+        map.slotWeight[slot] = saved + 1e-2f;
+        double up = loss();
+        map.slotWeight[slot] = saved - 1e-2f;
+        double down = loss();
+        map.slotWeight[slot] = saved;
+        EXPECT_NEAR(d_weights[i], (up - down) / 2e-2, 2e-2)
+            << "assignment " << i;
+    }
+}
+
+class ExpertTest : public ::testing::TestWithParam<FfnType>
+{
+};
+
+TEST_P(ExpertTest, OutputShapeMatchesInput)
+{
+    Rng rng(9);
+    auto expert = makeExpert(GetParam(), 10, 16, rng);
+    Tensor x = rng.normalTensor({7, 10});
+    Tensor y = expert->forward(x);
+    EXPECT_TRUE(y.sameShape(x));
+}
+
+TEST_P(ExpertTest, ZeroRowsStayZero)
+{
+    Rng rng(10);
+    auto expert = makeExpert(GetParam(), 8, 12, rng);
+    Tensor x({3, 8});
+    Tensor y = expert->forward(x);
+    for (int64_t i = 0; i < y.numel(); ++i)
+        EXPECT_EQ(y.flat(i), 0.0f) << "padding leaked through expert";
+}
+
+TEST_P(ExpertTest, BackwardMatchesFiniteDifference)
+{
+    Rng rng(11);
+    auto expert = makeExpert(GetParam(), 6, 8, rng);
+    Tensor x = rng.normalTensor({5, 6});
+    Tensor dy = rng.normalTensor({5, 6});
+    expert->zeroGrad();
+    expert->forward(x);
+    Tensor dx = expert->backward(dy);
+
+    auto loss = [&]() {
+        Tensor y = expert->forward(x);
+        double s = 0.0;
+        for (int64_t i = 0; i < y.numel(); ++i)
+            s += y.flat(i) * dy.flat(i);
+        return s;
+    };
+    test::expectGradMatches(x, dx, loss, 1e-2, 3e-2, 24);
+    auto params = expert->params();
+    auto grads = expert->grads();
+    for (size_t pi = 0; pi < params.size(); ++pi)
+        test::expectGradMatches(*params[pi], *grads[pi], loss, 1e-2, 3e-2,
+                                16);
+}
+
+TEST_P(ExpertTest, ShardOutputsSumToFullExpert)
+{
+    Rng rng(12);
+    auto expert = makeExpert(GetParam(), 6, 12, rng);
+    Tensor x = rng.normalTensor({4, 6});
+    Tensor full = expert->forward(x);
+    for (int shards : {2, 3, 4}) {
+        Tensor sum({4, 6});
+        for (int s = 0; s < shards; ++s) {
+            auto piece = expert->shard(s, shards);
+            sum.add_(piece->forward(x));
+        }
+        test::expectClose(sum, full, 1e-4f, "shard sum");
+    }
+}
+
+TEST_P(ExpertTest, ShardGradientsTileTheFullGradient)
+{
+    Rng rng(13);
+    auto expert = makeExpert(GetParam(), 6, 8, rng);
+    Tensor x = rng.normalTensor({3, 6});
+    Tensor dy = rng.normalTensor({3, 6});
+
+    expert->zeroGrad();
+    expert->forward(x);
+    Tensor dx_full = expert->backward(dy);
+
+    auto s0 = expert->shard(0, 2);
+    auto s1 = expert->shard(1, 2);
+    s0->forward(x);
+    s1->forward(x);
+    Tensor dx = s0->backward(dy);
+    dx.add_(s1->backward(dy));
+    test::expectClose(dx, dx_full, 1e-4f, "sharded input gradient");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ffns, ExpertTest,
+    ::testing::Values(FfnType::Simple, FfnType::Mixtral),
+    [](const ::testing::TestParamInfo<FfnType> &info) {
+        return info.param == FfnType::Mixtral ? "mixtral" : "simple";
+    });
+
+TEST(Expert, NamesAndGemmCounts)
+{
+    Rng rng(14);
+    EXPECT_EQ(makeExpert(FfnType::Simple, 4, 4, rng)->name(),
+              "simple-ffn");
+    EXPECT_EQ(makeExpert(FfnType::Mixtral, 4, 4, rng)->name(),
+              "mixtral-ffn");
+    EXPECT_EQ(ffnGemmCount(FfnType::Simple), 2);
+    EXPECT_EQ(ffnGemmCount(FfnType::Mixtral), 3);
+}
+
+} // namespace
+} // namespace fsmoe::core

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for Algorithm 1: predicate logic, case formulas, continuous
+ * vs exhaustive agreement over a configuration sweep, agreement with
+ * the discrete-event simulator, and the paper's observation that
+ * forward and backward phases prefer different degrees.
+ */
+#include <gtest/gtest.h>
+
+#include "core/moe_config.h"
+#include "core/perf_model.h"
+#include "core/pipeline_solver.h"
+#include "core/schedules/schedule.h"
+#include "sim/cluster.h"
+#include "sim/simulator.h"
+
+namespace fsmoe::core {
+namespace {
+
+PipelineProblem
+problemFor(const sim::ClusterSpec &cluster, const LayerShape &shape,
+           Phase phase, double t_gar = 0.0)
+{
+    ParallelConfig par;
+    par.numMp = cluster.gpusPerNode;
+    par.numEsp = cluster.gpusPerNode;
+    par.numEp = cluster.numNodes;
+    PerfModelSet models = PerfModelSet::fromCluster(cluster);
+    return makeProblem(models, deriveWorkload(shape, par), phase, t_gar);
+}
+
+TEST(PipelineSolver, ChunkTimesFollowEq1)
+{
+    TaskModel m{0.5, 2.0, 10.0};
+    EXPECT_DOUBLE_EQ(m.chunk(1), 20.5);
+    EXPECT_DOUBLE_EQ(m.chunk(4), 5.5);
+}
+
+TEST(PipelineSolver, CasesPartitionTheSpace)
+{
+    // Whatever the inputs, exactly one case must hold at every r.
+    sim::ClusterSpec a = sim::testbedA();
+    for (double h_scale : {2, 3, 4}) {
+        for (int64_t m : {1024, 2048, 4096}) {
+            LayerShape s;
+            s.embed = m;
+            s.hidden = static_cast<int64_t>(m * h_scale);
+            s.numExperts = a.numNodes;
+            for (double gar : {0.0, 1.0, 10.0}) {
+                PipelineProblem p =
+                    problemFor(a, s, Phase::Backward, gar);
+                for (int r = 1; r <= 16; ++r) {
+                    int c = caseAt(p, r);
+                    EXPECT_GE(c, 1);
+                    EXPECT_LE(c, 4);
+                }
+            }
+        }
+    }
+}
+
+TEST(PipelineSolver, Case1FormulaMatchesEq2)
+{
+    PipelineProblem p;
+    p.a2a = {0.3, 1e-3, 1000.0};
+    p.ag = {0.1, 1e-4, 1000.0};
+    p.rs = {0.1, 1e-4, 1000.0};
+    p.exp = {0.05, 1e-5, 1000.0};
+    p.tGar = 5.0;
+    double r = 4.0;
+    double expect = 2.0 * r * (0.3 + 1.0 / r) + 5.0;
+    EXPECT_NEAR(caseTime(p, 1, r), expect, 1e-9);
+}
+
+TEST(PipelineSolver, CaseFormulasAreTheMaxEnvelope)
+{
+    // The active case's formula is the largest of the four — the case
+    // analysis identifies the binding resource.
+    sim::ClusterSpec b = sim::testbedB();
+    LayerShape s;
+    s.embed = 2048;
+    s.hidden = 4096;
+    s.numExperts = b.numNodes;
+    for (double gar : {0.0, 2.0, 20.0}) {
+        PipelineProblem p = problemFor(b, s, Phase::Backward, gar);
+        for (int r = 1; r <= 12; ++r) {
+            int c = caseAt(p, r);
+            double t = caseTime(p, c, r);
+            for (int other = 1; other <= 4; ++other) {
+                EXPECT_GE(t + 1e-9, caseTime(p, other, r))
+                    << "case " << c << " not max at r=" << r
+                    << " (vs case " << other << ", gar=" << gar << ")";
+            }
+        }
+    }
+}
+
+TEST(PipelineSolver, SolverMatchesExhaustiveOnSweep)
+{
+    // Sweep a slice of the paper's Table 4 grid on both testbeds and
+    // require the Algorithm-1 solve to match brute force.
+    int checked = 0, matched_time = 0;
+    for (const sim::ClusterSpec &cluster :
+         {sim::testbedA(), sim::testbedB()}) {
+        for (int64_t batch : {1, 4}) {
+            for (int64_t len : {512, 1024}) {
+                for (int64_t m : {1024, 4096}) {
+                    for (double hs : {2.0, 4.0}) {
+                        LayerShape s;
+                        s.batch = batch;
+                        s.seqLen = len;
+                        s.embed = m;
+                        s.hidden = static_cast<int64_t>(m * hs);
+                        s.numExperts = cluster.numNodes;
+                        for (Phase ph :
+                             {Phase::Forward, Phase::Backward}) {
+                            PipelineProblem p =
+                                problemFor(cluster, s, ph, 0.8);
+                            PipelineSolution fast = solvePipeline(p);
+                            PipelineSolution ref =
+                                solvePipelineExhaustive(p);
+                            checked++;
+                            // Times must agree to within 2%; the
+                            // degree itself may differ on flat optima.
+                            if (fast.tMoe <= ref.tMoe * 1.02)
+                                matched_time++;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    EXPECT_EQ(checked, matched_time)
+        << "Algorithm 1 lost >2% vs brute force on some configs";
+    EXPECT_EQ(checked, 2 * 2 * 2 * 2 * 2 * 2);
+}
+
+TEST(PipelineSolver, AnalyticTimeTracksSimulatedPipeline)
+{
+    // The case-formula makespan should approximate the DES makespan of
+    // the corresponding task graph within a modest tolerance.
+    sim::ClusterSpec cluster = sim::testbedB();
+    PerfModelSet models = PerfModelSet::fromCluster(cluster);
+    ParallelConfig par;
+    par.numMp = cluster.gpusPerNode;
+    par.numEsp = cluster.gpusPerNode;
+    par.numEp = cluster.numNodes;
+
+    LayerShape s;
+    s.embed = 2048;
+    s.hidden = 6144;
+    s.numExperts = cluster.numNodes;
+    Workload w = deriveWorkload(s, par);
+    LayerCost lc = makeLayerCost(models, s, par);
+    lc.fwd.routing = lc.fwd.order = lc.fwd.attention = 0.0;
+
+    for (int r : {1, 2, 4, 8}) {
+        PipelineProblem p = makeProblem(models, w, Phase::Forward);
+        double analytic = analyticMoeTime(p, r);
+
+        sim::TaskGraph g;
+        detail::PipelineBuildOptions opts;
+        detail::appendMoePhase(g, lc, models, Phase::Forward, r, opts, -1);
+        double simulated = sim::Simulator{}.run(g).makespan;
+        EXPECT_NEAR(simulated, analytic, 0.25 * analytic)
+            << "r=" << r;
+    }
+}
+
+TEST(PipelineSolver, LargerGarPushesTowardCase1)
+{
+    sim::ClusterSpec cluster = sim::testbedB();
+    LayerShape s;
+    s.embed = 1024;
+    s.hidden = 2048;
+    s.numExperts = cluster.numNodes;
+    PipelineProblem p = problemFor(cluster, s, Phase::Backward, 0.0);
+    PipelineSolution free = solvePipeline(p);
+    p.tGar = 1000.0; // enormous gradient traffic
+    PipelineSolution loaded = solvePipeline(p);
+    EXPECT_EQ(loaded.caseId, 1);
+    // The AllReduce dominates the loaded makespan; overlapping lets it
+    // cost at most the free pipeline plus the full AllReduce (and the
+    // solver may shrink r to cut AlltoAll startup under case 1).
+    EXPECT_GE(loaded.tMoe, 1000.0);
+    EXPECT_LE(loaded.tMoe, free.tMoe + 1000.0 + 1e-6);
+}
+
+TEST(PipelineSolver, OverlappableTimeIsPositiveAndBounded)
+{
+    sim::ClusterSpec cluster = sim::testbedA();
+    LayerShape s;
+    s.embed = 2048;
+    s.hidden = 8192;
+    s.numExperts = cluster.numNodes;
+    PipelineProblem p = problemFor(cluster, s, Phase::Backward, 0.0);
+    PipelineSolution sol = solvePipeline(p);
+    EXPECT_GT(sol.tOlpMoe, 0.0);
+    EXPECT_LE(sol.tOlpMoe, sol.tMoe + 1e-9);
+}
+
+TEST(PipelineSolver, ForwardAndBackwardDegreesOftenDiffer)
+{
+    // §2.3: 912 of 1458 configurations prefer different degrees per
+    // phase. Require a healthy fraction on a coarse sub-grid.
+    sim::ClusterSpec cluster = sim::testbedB();
+    int total = 0, differ = 0;
+    for (int64_t batch : {1, 2, 4}) {
+        for (int64_t len : {256, 512, 1024}) {
+            for (int64_t m : {1024, 2048, 4096}) {
+                for (double hs : {2.0, 3.0, 4.0}) {
+                    LayerShape s;
+                    s.batch = batch;
+                    s.seqLen = len;
+                    s.embed = m;
+                    s.hidden = static_cast<int64_t>(m * hs);
+                    s.numExperts = cluster.numNodes;
+                    PipelineProblem fwd =
+                        problemFor(cluster, s, Phase::Forward);
+                    PipelineProblem bwd =
+                        problemFor(cluster, s, Phase::Backward, 1.0);
+                    total++;
+                    if (solvePipeline(fwd).r != solvePipeline(bwd).r)
+                        differ++;
+                }
+            }
+        }
+    }
+    EXPECT_GT(differ, total / 4)
+        << differ << "/" << total << " configs with distinct degrees";
+}
+
+TEST(PipelineSolver, BackwardDoublesExpertWork)
+{
+    PerfModelSet models = PerfModelSet::fromCluster(sim::testbedA());
+    LayerShape s;
+    ParallelConfig par;
+    Workload w = deriveWorkload(s, par);
+    PipelineProblem f = makeProblem(models, w, Phase::Forward);
+    PipelineProblem b = makeProblem(models, w, Phase::Backward);
+    EXPECT_DOUBLE_EQ(b.exp.n, 2.0 * f.exp.n);
+    EXPECT_DOUBLE_EQ(b.exp.alpha, 2.0 * f.exp.alpha);
+    EXPECT_DOUBLE_EQ(b.a2a.n, f.a2a.n);
+}
+
+TEST(PipelineSolver, DegreeOneIsAlwaysFeasibleFallback)
+{
+    PipelineProblem p;
+    p.a2a = {0.1, 1e-6, 100.0};
+    p.ag = {0.1, 1e-6, 100.0};
+    p.rs = {0.1, 1e-6, 100.0};
+    p.exp = {0.1, 1e-6, 100.0};
+    p.rMax = 1;
+    PipelineSolution sol = solvePipeline(p);
+    EXPECT_EQ(sol.r, 1);
+    EXPECT_GT(sol.tMoe, 0.0);
+}
+
+} // namespace
+} // namespace fsmoe::core

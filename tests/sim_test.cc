@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulator: dependency handling,
+ * stream FIFO semantics, exclusive links, readiness arbitration, the
+ * per-op accounting, and the testbed specifications.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+#include "sim/simulator.h"
+#include "sim/task_graph.h"
+
+namespace fsmoe::sim {
+namespace {
+
+TEST(TaskGraph, AddAndQuery)
+{
+    TaskGraph g;
+    TaskId a = g.addTask("a", OpType::Experts, Link::Compute, 0, 1.0);
+    TaskId b = g.addTask("b", OpType::AlltoAll, Link::InterNode, 1, 2.0,
+                         {a});
+    EXPECT_EQ(g.size(), 2u);
+    EXPECT_EQ(g.task(b).deps.size(), 1u);
+    EXPECT_EQ(g.numStreams(), 2);
+}
+
+TEST(Simulator, EmptyGraph)
+{
+    Simulator s;
+    SimResult r = s.run(TaskGraph{});
+    EXPECT_EQ(r.makespan, 0.0);
+}
+
+TEST(Simulator, SequentialChainSums)
+{
+    TaskGraph g;
+    TaskId prev = -1;
+    for (int i = 0; i < 5; ++i) {
+        std::vector<TaskId> deps;
+        if (prev >= 0)
+            deps.push_back(prev);
+        prev = g.addTask("t", OpType::Experts, Link::Compute, 0, 2.0,
+                         deps);
+    }
+    SimResult r = Simulator{}.run(g);
+    EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+}
+
+TEST(Simulator, IndependentLinksRunConcurrently)
+{
+    TaskGraph g;
+    g.addTask("c", OpType::Experts, Link::Compute, 0, 3.0);
+    g.addTask("n", OpType::AlltoAll, Link::InterNode, 1, 4.0);
+    g.addTask("i", OpType::AllGather, Link::IntraNode, 2, 5.0);
+    SimResult r = Simulator{}.run(g);
+    EXPECT_DOUBLE_EQ(r.makespan, 5.0);
+}
+
+TEST(Simulator, SameLinkSerializesAcrossStreams)
+{
+    TaskGraph g;
+    g.addTask("a", OpType::AlltoAll, Link::InterNode, 0, 3.0);
+    g.addTask("b", OpType::GradAllReduce, Link::InterNode, 1, 4.0);
+    SimResult r = Simulator{}.run(g);
+    EXPECT_DOUBLE_EQ(r.makespan, 7.0); // never concurrent
+}
+
+TEST(Simulator, StreamFifoOrderHolds)
+{
+    // Second task on the stream is ready first but must wait for the
+    // stream head, which depends on a slow compute task.
+    TaskGraph g;
+    TaskId slow = g.addTask("slow", OpType::Experts, Link::Compute, 0, 5.0);
+    TaskId head = g.addTask("head", OpType::AlltoAll, Link::InterNode, 1,
+                            1.0, {slow});
+    g.addTask("tail", OpType::AlltoAll, Link::InterNode, 1, 1.0);
+    SimResult r = Simulator{}.run(g);
+    EXPECT_DOUBLE_EQ(r.trace[head].start, 5.0);
+    EXPECT_DOUBLE_EQ(r.trace[2].start, 6.0); // FIFO behind the head
+    EXPECT_DOUBLE_EQ(r.makespan, 7.0);
+}
+
+TEST(Simulator, ReadinessArbitrationPicksEarliestReady)
+{
+    TaskGraph g;
+    TaskId gate_a = g.addTask("ga", OpType::Experts, Link::Compute, 0, 1.0);
+    TaskId gate_b = g.addTask("gb", OpType::Experts, Link::Compute, 0, 2.0);
+    // Two inter-node tasks on different streams; a becomes ready at 1,
+    // b at 3 (compute serial: gb ends at 3).
+    TaskId a = g.addTask("a", OpType::AlltoAll, Link::InterNode, 1, 10.0,
+                         {gate_a});
+    TaskId b = g.addTask("b", OpType::AlltoAll, Link::InterNode, 2, 1.0,
+                         {gate_b});
+    SimResult r = Simulator{}.run(g);
+    EXPECT_DOUBLE_EQ(r.trace[a].start, 1.0);
+    EXPECT_DOUBLE_EQ(r.trace[b].start, 11.0);
+}
+
+TEST(Simulator, DiamondDependency)
+{
+    TaskGraph g;
+    TaskId src = g.addTask("s", OpType::Experts, Link::Compute, 0, 1.0);
+    TaskId l = g.addTask("l", OpType::AlltoAll, Link::InterNode, 1, 2.0,
+                         {src});
+    TaskId rgt = g.addTask("r", OpType::AllGather, Link::IntraNode, 2, 3.0,
+                           {src});
+    TaskId sink = g.addTask("k", OpType::Experts, Link::Compute, 0, 1.0,
+                            {l, rgt});
+    SimResult res = Simulator{}.run(g);
+    EXPECT_DOUBLE_EQ(res.trace[sink].start, 4.0);
+    EXPECT_DOUBLE_EQ(res.makespan, 5.0);
+}
+
+TEST(Simulator, OpTimeAccounting)
+{
+    TaskGraph g;
+    g.addTask("a", OpType::AlltoAll, Link::InterNode, 0, 2.0);
+    g.addTask("b", OpType::AlltoAll, Link::InterNode, 0, 3.0);
+    g.addTask("e", OpType::Experts, Link::Compute, 1, 4.0);
+    SimResult r = Simulator{}.run(g);
+    EXPECT_DOUBLE_EQ(r.timeOf(OpType::AlltoAll), 5.0);
+    EXPECT_DOUBLE_EQ(r.timeOf(OpType::Experts), 4.0);
+    EXPECT_DOUBLE_EQ(r.timeOf(OpType::Routing), 0.0);
+}
+
+TEST(Simulator, ZeroDurationBarrier)
+{
+    TaskGraph g;
+    TaskId a = g.addTask("a", OpType::Experts, Link::Compute, 0, 2.0);
+    TaskId b = g.addTask("b", OpType::AlltoAll, Link::InterNode, 1, 3.0);
+    TaskId bar = g.addTask("bar", OpType::Other, Link::Compute, 0, 0.0,
+                           {a, b});
+    SimResult r = Simulator{}.run(g);
+    EXPECT_DOUBLE_EQ(r.trace[bar].start, 3.0);
+    EXPECT_DOUBLE_EQ(r.makespan, 3.0);
+}
+
+TEST(Simulator, PipelineOverlapMatchesClosedForm)
+{
+    // r chunks: a2a (inter) then expert (compute), expert slower.
+    // Closed form (paper case 2 shape): t = t_a2a + r * t_exp.
+    const int r = 4;
+    const double t_a2a = 1.0, t_exp = 2.0;
+    TaskGraph g;
+    std::vector<TaskId> disp(r);
+    for (int i = 0; i < r; ++i)
+        disp[i] = g.addTask("d", OpType::AlltoAll, Link::InterNode, 1,
+                            t_a2a);
+    for (int i = 0; i < r; ++i)
+        g.addTask("e", OpType::Experts, Link::Compute, 0, t_exp,
+                  {disp[i]});
+    SimResult res = Simulator{}.run(g);
+    EXPECT_DOUBLE_EQ(res.makespan, t_a2a + r * t_exp);
+}
+
+TEST(Simulator, GanttRendersAllStreams)
+{
+    TaskGraph g;
+    g.addTask("alpha", OpType::Experts, Link::Compute, 0, 1.0);
+    g.addTask("beta", OpType::AlltoAll, Link::InterNode, 1, 2.0);
+    SimResult r = Simulator{}.run(g);
+    std::string chart = Simulator::gantt(g, r, 40);
+    EXPECT_NE(chart.find("stream 0"), std::string::npos);
+    EXPECT_NE(chart.find("stream 1"), std::string::npos);
+    EXPECT_NE(chart.find('a'), std::string::npos);
+    EXPECT_NE(chart.find('b'), std::string::npos);
+}
+
+TEST(Cluster, TestbedSpecsMatchPaper)
+{
+    ClusterSpec a = testbedA();
+    EXPECT_EQ(a.numNodes, 6);
+    EXPECT_EQ(a.gpusPerNode, 8);
+    EXPECT_EQ(a.totalGpus(), 48);
+    EXPECT_DOUBLE_EQ(a.gemm.alpha, 4.26e-2);
+    EXPECT_DOUBLE_EQ(a.alltoall.beta, 2.21e-7);
+
+    ClusterSpec b = testbedB();
+    EXPECT_EQ(b.totalGpus(), 32);
+    EXPECT_DOUBLE_EQ(b.allreduce.beta, 5.99e-7);
+}
+
+TEST(Cluster, CostCoeffsEvaluateLinearly)
+{
+    CostCoeffs c{1.0, 2.0};
+    EXPECT_DOUBLE_EQ(c(3.0), 7.0);
+}
+
+TEST(Cluster, ScaledTestbedAdjustsInterNodeOnly)
+{
+    ClusterSpec base = testbedA();
+    ClusterSpec scaled = scaledTestbedA(2);
+    EXPECT_EQ(scaled.numNodes, 2);
+    EXPECT_LT(scaled.alltoall.beta, base.alltoall.beta);
+    EXPECT_DOUBLE_EQ(scaled.allgather.beta, base.allgather.beta);
+    EXPECT_DOUBLE_EQ(scaled.gemm.beta, base.gemm.beta);
+    // Scaling back to 6 nodes is the identity.
+    ClusterSpec same = scaledTestbedA(6);
+    EXPECT_DOUBLE_EQ(same.alltoall.beta, base.alltoall.beta);
+}
+
+} // namespace
+} // namespace fsmoe::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for the FSMoE test suite: finite-difference gradient
+ * checking and tensor comparison utilities.
+ */
+#ifndef FSMOE_TESTS_TEST_UTIL_H
+#define FSMOE_TESTS_TEST_UTIL_H
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace fsmoe::test {
+
+/**
+ * Central-difference derivative of a scalar function of one tensor
+ * element: perturbs x[index] by +/-eps around its current value.
+ */
+inline double
+numericalGrad(Tensor &x, int64_t index,
+              const std::function<double()> &loss, double eps = 1e-3)
+{
+    const float saved = x.flat(index);
+    x.flat(index) = saved + static_cast<float>(eps);
+    double up = loss();
+    x.flat(index) = saved - static_cast<float>(eps);
+    double down = loss();
+    x.flat(index) = saved;
+    return (up - down) / (2.0 * eps);
+}
+
+/** EXPECT that two tensors match elementwise within a tolerance. */
+inline void
+expectClose(const Tensor &a, const Tensor &b, float tol = 1e-4f,
+            const char *what = "tensors")
+{
+    ASSERT_TRUE(a.sameShape(b)) << what << ": shape " << a.shapeString()
+                                << " vs " << b.shapeString();
+    EXPECT_LE(maxAbsDiff(a, b), tol) << what;
+}
+
+/**
+ * Compare an analytic gradient tensor against finite differences of a
+ * scalar loss, probing a strided subset of elements to keep runtime
+ * bounded.
+ */
+inline void
+expectGradMatches(Tensor &x, const Tensor &analytic,
+                  const std::function<double()> &loss, double eps = 1e-2,
+                  double tol = 2e-2, int64_t max_probes = 40)
+{
+    ASSERT_TRUE(x.sameShape(analytic));
+    const int64_t stride = std::max<int64_t>(1, x.numel() / max_probes);
+    for (int64_t i = 0; i < x.numel(); i += stride) {
+        double num = numericalGrad(x, i, loss, eps);
+        double ana = analytic.flat(i);
+        double scale = std::max({1.0, std::fabs(num), std::fabs(ana)});
+        EXPECT_NEAR(ana, num, tol * scale)
+            << "gradient mismatch at flat index " << i;
+    }
+}
+
+} // namespace fsmoe::test
+
+#endif // FSMOE_TESTS_TEST_UTIL_H

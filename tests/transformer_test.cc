@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Tests for the dense-side training modules: layer norm, multi-head
+ * attention, the full transformer-MoE block, the optimizers, and the
+ * load-balancing auxiliary loss.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/transformer.h"
+#include "test_util.h"
+
+namespace fsmoe::core {
+namespace {
+
+TEST(LayerNorm, NormalisesRows)
+{
+    Rng rng(1);
+    Tensor x = rng.normalTensor({4, 16}, 3.0f, 2.0f);
+    Tensor gamma = Tensor::full({16}, 1.0f);
+    Tensor beta({16});
+    LayerNormCache cache;
+    Tensor y = layerNorm(x, gamma, beta, cache);
+    for (int64_t r = 0; r < 4; ++r) {
+        double sum = 0.0, ss = 0.0;
+        for (int64_t c = 0; c < 16; ++c) {
+            sum += y.at(r, c);
+            ss += y.at(r, c) * y.at(r, c);
+        }
+        EXPECT_NEAR(sum / 16, 0.0, 1e-4);
+        EXPECT_NEAR(ss / 16, 1.0, 1e-3);
+    }
+}
+
+TEST(LayerNorm, BackwardMatchesFiniteDifference)
+{
+    Rng rng(2);
+    Tensor x = rng.normalTensor({3, 8});
+    Tensor gamma = rng.normalTensor({8}, 1.0f, 0.1f);
+    Tensor beta = rng.normalTensor({8}, 0.0f, 0.1f);
+    Tensor dy = rng.normalTensor({3, 8});
+
+    LayerNormCache cache;
+    layerNorm(x, gamma, beta, cache);
+    Tensor d_gamma({8}), d_beta({8});
+    Tensor dx = layerNormBackward(dy, gamma, cache, d_gamma, d_beta);
+
+    auto loss = [&]() {
+        LayerNormCache c;
+        Tensor y = layerNorm(x, gamma, beta, c);
+        double s = 0.0;
+        for (int64_t i = 0; i < y.numel(); ++i)
+            s += y.flat(i) * dy.flat(i);
+        return s;
+    };
+    test::expectGradMatches(x, dx, loss, 1e-3, 2e-2);
+    test::expectGradMatches(gamma, d_gamma, loss, 1e-3, 2e-2);
+    test::expectGradMatches(beta, d_beta, loss, 1e-3, 2e-2);
+}
+
+TEST(Attention, OutputShapeAndDeterminism)
+{
+    AttentionOptions opt;
+    opt.embed = 32;
+    opt.numHeads = 4;
+    opt.seqLen = 8;
+    MultiHeadAttention attn(opt);
+    Rng rng(3);
+    Tensor x = rng.normalTensor({16, 32}); // B=2 sequences
+    Tensor y1 = attn.forward(x);
+    Tensor y2 = attn.forward(x);
+    EXPECT_TRUE(y1.sameShape(x));
+    test::expectClose(y1, y2, 0.0f, "attention determinism");
+}
+
+TEST(Attention, CausalMaskBlocksFutureTokens)
+{
+    AttentionOptions opt;
+    opt.embed = 16;
+    opt.numHeads = 2;
+    opt.seqLen = 6;
+    opt.causal = true;
+    MultiHeadAttention attn(opt);
+    Rng rng(4);
+    Tensor x = rng.normalTensor({6, 16});
+    Tensor y = attn.forward(x);
+    // Changing a future token must not affect earlier outputs.
+    Tensor x2 = x;
+    for (int64_t c = 0; c < 16; ++c)
+        x2.at(5, c) += 10.0f;
+    Tensor y2 = attn.forward(x2);
+    for (int64_t t = 0; t < 5; ++t)
+        for (int64_t c = 0; c < 16; ++c)
+            EXPECT_NEAR(y.at(t, c), y2.at(t, c), 1e-5f)
+                << "future token leaked into position " << t;
+}
+
+TEST(Attention, NonCausalAttendsEverywhere)
+{
+    AttentionOptions opt;
+    opt.embed = 16;
+    opt.numHeads = 2;
+    opt.seqLen = 4;
+    opt.causal = false;
+    MultiHeadAttention attn(opt);
+    Rng rng(5);
+    Tensor x = rng.normalTensor({4, 16});
+    Tensor y = attn.forward(x);
+    Tensor x2 = x;
+    x2.at(3, 0) += 5.0f;
+    Tensor y2 = attn.forward(x2);
+    EXPECT_GT(maxAbsDiff(y, y2), 1e-4f)
+        << "bidirectional attention must propagate future edits";
+}
+
+TEST(Attention, BackwardMatchesFiniteDifference)
+{
+    AttentionOptions opt;
+    opt.embed = 12;
+    opt.numHeads = 3;
+    opt.seqLen = 5;
+    MultiHeadAttention attn(opt);
+    Rng rng(6);
+    Tensor x = rng.normalTensor({10, 12}); // B=2
+    Tensor dy = rng.normalTensor({10, 12});
+    attn.zeroGrad();
+    attn.forward(x);
+    Tensor dx = attn.backward(dy);
+
+    auto loss = [&]() {
+        Tensor y = attn.forward(x);
+        double s = 0.0;
+        for (int64_t i = 0; i < y.numel(); ++i)
+            s += y.flat(i) * dy.flat(i);
+        return s;
+    };
+    test::expectGradMatches(x, dx, loss, 5e-3, 3e-2, 24);
+    auto params = attn.params();
+    auto grads = attn.grads();
+    for (size_t pi = 0; pi < params.size(); ++pi)
+        test::expectGradMatches(*params[pi], *grads[pi], loss, 5e-3, 3e-2,
+                                16);
+}
+
+TEST(TransformerBlock, ForwardShapesAndResidualPath)
+{
+    TransformerBlockOptions opt;
+    opt.moe.embed = 24;
+    opt.moe.hidden = 48;
+    opt.moe.numExperts = 4;
+    opt.moe.numEp = 2;
+    opt.moe.numEsp = 2;
+    opt.moe.capacityFactor = 0.0;
+    opt.numHeads = 4;
+    opt.seqLen = 6;
+    TransformerMoeBlock block(opt);
+    Rng rng(7);
+    std::vector<Tensor> xs;
+    for (int r = 0; r < block.worldSize(); ++r)
+        xs.push_back(rng.normalTensor({12, 24})); // B=2, L=6
+    auto ys = block.forward(xs);
+    ASSERT_EQ(ys.size(), 4u);
+    for (const Tensor &y : ys)
+        EXPECT_TRUE(y.sameShape(xs[0]));
+}
+
+TEST(TransformerBlock, BackwardMatchesFiniteDifference)
+{
+    TransformerBlockOptions opt;
+    opt.moe.embed = 16;
+    opt.moe.hidden = 24;
+    opt.moe.numExperts = 2;
+    opt.moe.numEp = 2;
+    opt.moe.numEsp = 1;
+    opt.moe.capacityFactor = 0.0;
+    opt.numHeads = 2;
+    opt.seqLen = 4;
+    TransformerMoeBlock block(opt);
+    Rng rng(8);
+    std::vector<Tensor> xs, dys;
+    for (int r = 0; r < block.worldSize(); ++r) {
+        xs.push_back(rng.normalTensor({8, 16}));
+        dys.push_back(rng.normalTensor({8, 16}));
+    }
+    block.zeroGrad();
+    block.forward(xs);
+    auto dxs = block.backward(dys);
+
+    auto loss = [&]() {
+        auto ys = block.forward(xs);
+        double s = 0.0;
+        for (size_t r = 0; r < ys.size(); ++r)
+            for (int64_t i = 0; i < ys[r].numel(); ++i)
+                s += ys[r].flat(i) * dys[r].flat(i);
+        return s;
+    };
+    test::expectGradMatches(xs[0], dxs[0], loss, 1e-2, 4e-2, 16);
+}
+
+TEST(TransformerBlock, TrainsWithAdamAndAuxLoss)
+{
+    TransformerBlockOptions opt;
+    opt.moe.embed = 16;
+    opt.moe.hidden = 32;
+    opt.moe.numExperts = 4;
+    opt.moe.numEp = 2;
+    opt.moe.numEsp = 1;
+    opt.moe.capacityFactor = 0.0;
+    opt.moe.auxLossScale = 0.01;
+    opt.numHeads = 2;
+    opt.seqLen = 8;
+    TransformerMoeBlock block(opt);
+    const int world = block.worldSize();
+
+    AdamOptimizer adam(1e-2f);
+    block.registerParams(adam);
+    EXPECT_GT(adam.numParams(), 10u);
+
+    Rng rng(9);
+    std::vector<Tensor> xs, targets;
+    for (int r = 0; r < world; ++r) {
+        xs.push_back(rng.normalTensor({16, 16}));
+        targets.push_back(rng.normalTensor({16, 16}, 0.0f, 0.5f));
+    }
+
+    double first = 0.0, last = 0.0;
+    for (int step = 0; step < 40; ++step) {
+        auto ys = block.forward(xs);
+        double loss = 0.0;
+        int64_t count = 0;
+        std::vector<Tensor> grads(world);
+        for (int r = 0; r < world; ++r) {
+            grads[r] = sub(ys[r], targets[r]);
+            for (int64_t i = 0; i < grads[r].numel(); ++i)
+                loss += grads[r].flat(i) * grads[r].flat(i);
+            count += grads[r].numel();
+        }
+        loss /= count;
+        for (int r = 0; r < world; ++r)
+            grads[r].scale_(2.0f / count);
+        if (step == 0)
+            first = loss;
+        last = loss;
+        adam.zeroGrad();
+        block.zeroGrad();
+        block.backward(grads);
+        block.syncReplicatedGrads();
+        adam.step();
+    }
+    EXPECT_LT(last, 0.6 * first)
+        << "Adam training failed (first " << first << ", last " << last
+        << ")";
+    EXPECT_GE(block.lastAuxLoss(), 0.0);
+}
+
+TEST(Optimizer, SgdMatchesClosedForm)
+{
+    Tensor p({2}, {1.0f, 2.0f});
+    Tensor g({2}, {0.5f, -1.0f});
+    SgdOptimizer sgd(0.1f);
+    sgd.add(&p, &g);
+    sgd.step();
+    EXPECT_NEAR(p.flat(0), 0.95f, 1e-6f);
+    EXPECT_NEAR(p.flat(1), 2.1f, 1e-6f);
+}
+
+TEST(Optimizer, SgdMomentumAccumulates)
+{
+    Tensor p({1}, {0.0f});
+    Tensor g({1}, {1.0f});
+    SgdOptimizer sgd(1.0f, 0.9f);
+    sgd.add(&p, &g);
+    sgd.step(); // v=1, p=-1
+    sgd.step(); // v=1.9, p=-2.9
+    EXPECT_NEAR(p.flat(0), -2.9f, 1e-5f);
+}
+
+TEST(Optimizer, AdamFirstStepIsLrSized)
+{
+    Tensor p({1}, {1.0f});
+    Tensor g({1}, {0.3f});
+    AdamOptimizer adam(0.01f);
+    adam.add(&p, &g);
+    adam.step();
+    // With bias correction, the first Adam step is ~lr * sign(g).
+    EXPECT_NEAR(p.flat(0), 1.0f - 0.01f, 1e-4f);
+}
+
+TEST(Optimizer, ZeroGradClears)
+{
+    Tensor p({2}), g({2}, {1.0f, 2.0f});
+    SgdOptimizer sgd(0.1f);
+    sgd.add(&p, &g);
+    sgd.zeroGrad();
+    EXPECT_EQ(g.flat(0), 0.0f);
+    EXPECT_EQ(g.flat(1), 0.0f);
+}
+
+TEST(AuxLoss, BalancedRoutingMinimisesLoss)
+{
+    // Uniform routing: every expert gets the same count and mass.
+    GateResult balanced, skewed;
+    const int e = 4;
+    const int n = 8;
+    for (int64_t t = 0; t < n; ++t) {
+        balanced.assignments.push_back(
+            {t, static_cast<int>(t % e), 0.5f});
+        skewed.assignments.push_back({t, 0, 0.5f});
+    }
+    AuxLossResult lb = loadBalanceLoss(balanced, e, n);
+    AuxLossResult ls = loadBalanceLoss(skewed, e, n);
+    EXPECT_LT(lb.loss, ls.loss);
+    // Skewed loss is E times the balanced one for one-hot routing.
+    EXPECT_NEAR(ls.loss / lb.loss, e, 1e-6);
+}
+
+TEST(AuxLoss, GradientPushesAwayFromHotExperts)
+{
+    GateResult routing;
+    // Expert 0 takes 3 tokens, expert 1 takes 1.
+    routing.assignments = {
+        {0, 0, 0.9f}, {1, 0, 0.8f}, {2, 0, 0.7f}, {3, 1, 0.6f}};
+    AuxLossResult res = loadBalanceLoss(routing, 2, 4);
+    // Hot expert's weights receive a larger positive gradient (they
+    // get pushed down harder when descending the aux loss).
+    EXPECT_GT(res.dWeights[0], res.dWeights[3]);
+}
+
+} // namespace
+} // namespace fsmoe::core
