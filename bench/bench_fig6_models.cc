@@ -5,35 +5,41 @@
  * models — GPT2-XL and Mixtral-7B on both testbeds, Mixtral-22B on
  * Testbed A. Settings follow §6.4: B=1, k=2, f=1.2, L=1024 on A /
  * 256 on B, E = number of nodes, 7 Mixtral-7B layers on Testbed B.
+ *
+ * Runs on the scenario-sweep engine: all 30 (case x schedule) points
+ * are dispatched across the thread pool and each case's ModelCost is
+ * derived once and shared by its six schedules through the engine's
+ * cost cache.
  */
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/schedules/schedule.h"
-#include "model/models.h"
+#include "runtime/scenario.h"
+#include "runtime/sweep_engine.h"
 
 namespace {
 
 using namespace fsmoe;
 
-void
-runCase(const model::ModelSpec &spec, const sim::ClusterSpec &cluster)
+/** One Fig. 6 case: every schedule of one (model, cluster, L, layers). */
+std::vector<runtime::Scenario>
+makeCase(const std::string &model, const std::string &cluster,
+         int64_t seq_len, int num_layers = 0)
 {
-    core::ModelCost cost = model::makeModelCost(
-        spec, cluster, model::paperParallelism(cluster));
-    double ds = core::Schedule::create(core::ScheduleKind::DsMoeSequential)
-                    ->iterationTimeMs(cost);
-    std::printf("%-14s %-34s %9.1f", spec.name.c_str(),
-                cluster.name.c_str(), ds);
-    for (core::ScheduleKind kind :
-         {core::ScheduleKind::Tutel, core::ScheduleKind::TutelImproved,
-          core::ScheduleKind::PipeMoeLina, core::ScheduleKind::FsMoeNoIio,
-          core::ScheduleKind::FsMoe}) {
-        double t = core::Schedule::create(kind)->iterationTimeMs(cost);
-        std::printf(" %7.2fx", ds / t);
+    std::vector<runtime::Scenario> out;
+    for (core::ScheduleKind kind : core::allScheduleKinds()) {
+        runtime::Scenario s;
+        s.model = model;
+        s.cluster = cluster;
+        s.schedule = kind;
+        s.batch = 1;
+        s.seqLen = seq_len;
+        s.numLayers = num_layers;
+        out.push_back(std::move(s));
     }
-    std::printf("\n");
+    return out;
 }
 
 } // namespace
@@ -48,17 +54,40 @@ main()
                 "Testbed", "DS[ms]", "Tutel", "Tutel+", "Lina",
                 "No-IIO", "FSMoE");
 
-    sim::ClusterSpec a = sim::testbedA();
-    sim::ClusterSpec b = sim::testbedB();
-
     // Testbed A: L = 1024, E = 6 nodes.
-    runCase(model::gpt2XlMoe(a.numNodes, 1, 1024, 24), a);
-    runCase(model::mixtral7B(a.numNodes, 1, 1024, 32), a);
-    runCase(model::mixtral22B(a.numNodes, 1, 1024, 33), a);
     // Testbed B: L = 256, E = 8 nodes, Mixtral-7B trimmed to 7 layers.
-    runCase(model::gpt2XlMoe(b.numNodes, 1, 256, 24), b);
-    runCase(model::mixtral7B(b.numNodes, 1, 256, 7), b);
+    std::vector<runtime::Scenario> grid;
+    for (const auto &c : {makeCase("gpt2xl-moe", "testbedA", 1024),
+                          makeCase("mixtral-7b", "testbedA", 1024),
+                          makeCase("mixtral-22b", "testbedA", 1024),
+                          makeCase("gpt2xl-moe", "testbedB", 256),
+                          makeCase("mixtral-7b", "testbedB", 256, 7)})
+        grid.insert(grid.end(), c.begin(), c.end());
 
+    runtime::SweepEngine engine({/*numThreads=*/4});
+    const auto results = engine.run(grid);
+
+    // Scenarios arrive in case-major order, DS-MoE first within each
+    // case (allScheduleKinds order).
+    const size_t per_case = core::allScheduleKinds().size();
+    for (size_t base = 0; base < results.size(); base += per_case) {
+        const auto &ds = results[base];
+        runtime::ScenarioRegistry &reg = runtime::ScenarioRegistry::instance();
+        std::printf("%-14s %-34s %9.1f", ds.scenario.model.c_str(),
+                    reg.makeCluster(ds.scenario.cluster).name.c_str(),
+                    ds.makespanMs);
+        for (size_t i = 1; i < per_case; ++i)
+            std::printf(" %7.2fx",
+                        ds.makespanMs / results[base + i].makespanMs);
+        std::printf("\n");
+    }
+
+    const runtime::SweepStats stats = engine.stats();
+    std::printf("\n%zu scenarios in %.1f ms on %d threads; cost cache "
+                "%zu misses / %zu hits\n",
+                stats.scenariosRun, stats.lastSweepWallMs,
+                engine.options().numThreads, stats.costCacheMisses,
+                stats.costCacheHits);
     std::printf("\nPaper reference: FSMoE 1.28-3.01x over DS-MoE, Tutel "
                 "1.16-2.59x; FSMoE averages 1.19x over Tutel,\n1.12x over "
                 "Tutel-Improved, 1.14x over PipeMoE+Lina, 1.07x over "

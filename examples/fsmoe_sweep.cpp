@@ -1,0 +1,242 @@
+/**
+ * @file
+ * fsmoe_sweep — the parallel scenario-sweep driver.
+ *
+ * Evaluates a (model x cluster x batch) grid across all six schedules
+ * on the sweep runtime's thread pool and prints, per configuration, a
+ * makespan-ranked table of the schedules. Options:
+ *
+ *   --threads N    worker threads (default: hardware concurrency)
+ *   --batches LIST comma-separated per-GPU batch sizes (default: 1,2)
+ *   --trace FILE   export the best-ranked scenario of the grid as
+ *                  Chrome trace JSON (open in chrome://tracing)
+ *   --selftest     run the grid on 1 thread and again on 4, verify the
+ *                  results are bit-identical, and report both wall
+ *                  times; exits non-zero on any mismatch
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/scenario.h"
+#include "runtime/sweep_engine.h"
+#include "runtime/trace_export.h"
+
+namespace {
+
+using namespace fsmoe;
+
+std::vector<int64_t>
+parseBatches(const char *arg)
+{
+    std::vector<int64_t> out;
+    for (const char *p = arg; *p != '\0';) {
+        char *end = nullptr;
+        long v = std::strtol(p, &end, 10);
+        if (end == p || v <= 0) {
+            std::fprintf(stderr, "bad --batches list '%s'\n", arg);
+            std::exit(2);
+        }
+        out.push_back(v);
+        p = *end == ',' ? end + 1 : end;
+    }
+    if (out.empty()) {
+        std::fprintf(stderr, "--batches needs at least one value\n");
+        std::exit(2);
+    }
+    return out;
+}
+
+/** The demo grid: both testbeds, two models, all six schedules. */
+std::vector<runtime::Scenario>
+makeGrid(const std::vector<int64_t> &batches)
+{
+    // Sequence lengths follow the paper's per-testbed settings
+    // (L = 1024 on Testbed A, 256 on B), so build one sub-grid per
+    // cluster and concatenate.
+    auto a = runtime::ScenarioGrid()
+                 .models({"gpt2xl-moe", "mixtral-7b"})
+                 .clusters({"testbedA"})
+                 .seqLens({1024})
+                 .batches(batches)
+                 .build();
+    auto b = runtime::ScenarioGrid()
+                 .models({"gpt2xl-moe", "mixtral-7b"})
+                 .clusters({"testbedB"})
+                 .seqLens({256})
+                 .batches(batches)
+                 .build();
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+}
+
+void
+printRanked(const std::vector<runtime::ScenarioResult> &results)
+{
+    // Group scenarios by configuration (= costKey) in first-seen order.
+    std::vector<std::string> order;
+    std::map<std::string, std::vector<const runtime::ScenarioResult *>>
+        groups;
+    for (const auto &r : results) {
+        const std::string key = r.scenario.costKey();
+        if (groups.find(key) == groups.end())
+            order.push_back(key);
+        groups[key].push_back(&r);
+    }
+
+    for (const std::string &key : order) {
+        auto ranked = groups[key];
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto *x, const auto *y) {
+                      return x->makespanMs < y->makespanMs;
+                  });
+        const auto &s0 = ranked.front()->scenario;
+        std::printf("\n%s on %s, B=%lld, L=%lld\n", s0.model.c_str(),
+                    s0.cluster.c_str(),
+                    static_cast<long long>(s0.batch),
+                    static_cast<long long>(s0.seqLen));
+        std::printf("  %-4s %-16s %12s %9s\n", "rank", "schedule",
+                    "iter [ms]", "vs best");
+        for (size_t i = 0; i < ranked.size(); ++i) {
+            std::printf("  %-4zu %-16s %12.2f %8.2fx\n", i + 1,
+                        core::scheduleName(ranked[i]->scenario.schedule),
+                        ranked[i]->makespanMs,
+                        ranked[i]->makespanMs /
+                            ranked.front()->makespanMs);
+        }
+    }
+}
+
+/** memcmp-level equality of two sweeps' timing results. */
+bool
+identicalResults(const std::vector<runtime::ScenarioResult> &a,
+                 const std::vector<runtime::ScenarioResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (std::memcmp(&a[i].makespanMs, &b[i].makespanMs,
+                        sizeof(double)) != 0)
+            return false;
+        if (a[i].sim.trace.size() != b[i].sim.trace.size())
+            return false;
+        for (size_t t = 0; t < a[i].sim.trace.size(); ++t) {
+            const auto &x = a[i].sim.trace[t];
+            const auto &y = b[i].sim.trace[t];
+            if (x.id != y.id ||
+                std::memcmp(&x.start, &y.start, sizeof(double)) != 0 ||
+                std::memcmp(&x.finish, &y.finish, sizeof(double)) != 0)
+                return false;
+        }
+    }
+    return true;
+}
+
+int
+selftest(const std::vector<runtime::Scenario> &grid)
+{
+    std::printf("selftest: %zu scenarios, serial vs 4 threads\n",
+                grid.size());
+    runtime::SweepEngine serial({/*numThreads=*/1});
+    auto serial_results = serial.run(grid);
+    const double serial_ms = serial.stats().lastSweepWallMs;
+
+    runtime::SweepEngine parallel({/*numThreads=*/4});
+    auto parallel_results = parallel.run(grid);
+    const double parallel_ms = parallel.stats().lastSweepWallMs;
+
+    // A second sweep on the warm engine: every ModelCost is served
+    // from the cache, which is the repeated-sweep case the cache is
+    // for.
+    auto warm_results = parallel.run(grid);
+    const double warm_ms = parallel.stats().lastSweepWallMs;
+
+    const bool same = identicalResults(serial_results, parallel_results) &&
+                      identicalResults(serial_results, warm_results);
+    std::printf("  1 thread        : %9.1f ms\n", serial_ms);
+    std::printf("  4 threads (cold): %9.1f ms  (%.2fx)\n", parallel_ms,
+                serial_ms / parallel_ms);
+    std::printf("  4 threads (warm): %9.1f ms  (%.2fx, costs cached)\n",
+                warm_ms, serial_ms / warm_ms);
+    std::printf("  results bit-identical: %s\n", same ? "yes" : "NO");
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw < 2)
+        std::printf("  note: this host exposes %u CPU(s); thread-level "
+                    "speedup needs more cores\n",
+                    hw);
+    return same ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int threads = 0;
+    std::vector<int64_t> batches = {1, 2};
+    const char *trace_path = nullptr;
+    bool run_selftest = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            threads = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--batches") == 0 && i + 1 < argc) {
+            batches = parseBatches(argv[++i]);
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--selftest") == 0) {
+            run_selftest = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--threads N] [--batches LIST] "
+                         "[--trace FILE] [--selftest]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const std::vector<runtime::Scenario> grid = makeGrid(batches);
+    if (run_selftest) {
+        if (trace_path != nullptr)
+            std::fprintf(stderr,
+                         "warning: --trace is ignored with --selftest\n");
+        return selftest(grid);
+    }
+
+    if (threads <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        threads = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    runtime::SweepOptions opts;
+    opts.numThreads = threads;
+    opts.keepGraphs = trace_path != nullptr;
+    runtime::SweepEngine engine(opts);
+    auto results = engine.run(grid);
+
+    printRanked(results);
+
+    const runtime::SweepStats stats = engine.stats();
+    std::printf("\n%zu scenarios on %d threads in %.1f ms; cost cache: "
+                "%zu misses, %zu hits\n",
+                stats.scenariosRun, threads, stats.lastSweepWallMs,
+                stats.costCacheMisses, stats.costCacheHits);
+
+    if (trace_path != nullptr) {
+        const runtime::ScenarioResult *best = &results.front();
+        for (const auto &r : results)
+            if (r.makespanMs < best->makespanMs)
+                best = &r;
+        if (runtime::writeChromeTrace(trace_path, best->graph, best->sim,
+                                      best->scenario.label()))
+            std::printf("wrote chrome://tracing JSON for %s to %s\n",
+                        best->scenario.label().c_str(), trace_path);
+        else
+            return 1;
+    }
+    return 0;
+}

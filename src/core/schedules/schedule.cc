@@ -1,5 +1,8 @@
 #include "core/schedules/schedule.h"
 
+#include <cctype>
+#include <unordered_map>
+
 #include "base/logging.h"
 
 namespace fsmoe::core {
@@ -40,6 +43,80 @@ scheduleName(ScheduleKind kind)
     }
 }
 
+namespace {
+
+/** Lowercase and drop separators, so "PipeMoE+Lina" == "pipemoe-lina"
+ *  == "pipemoelina". */
+std::string
+normalizeName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out;
+}
+
+/** The normalized-name registry: canonical names plus aliases. */
+const std::unordered_map<std::string, ScheduleKind> &
+scheduleRegistry()
+{
+    static const std::unordered_map<std::string, ScheduleKind> registry =
+        [] {
+            std::unordered_map<std::string, ScheduleKind> r;
+            for (ScheduleKind kind : allScheduleKinds())
+                r[normalizeName(scheduleName(kind))] = kind;
+            r[normalizeName("dsmoe")] = ScheduleKind::DsMoeSequential;
+            r[normalizeName("deepspeed")] = ScheduleKind::DsMoeSequential;
+            r[normalizeName("sequential")] = ScheduleKind::DsMoeSequential;
+            r[normalizeName("pipemoe")] = ScheduleKind::Tutel;
+            r[normalizeName("lina")] = ScheduleKind::PipeMoeLina;
+            r[normalizeName("no-iio")] = ScheduleKind::FsMoeNoIio;
+            return r;
+        }();
+    return registry;
+}
+
+} // namespace
+
+bool
+scheduleKindFromName(const std::string &name, ScheduleKind *kind)
+{
+    const auto &registry = scheduleRegistry();
+    auto it = registry.find(normalizeName(name));
+    if (it == registry.end())
+        return false;
+    if (kind)
+        *kind = it->second;
+    return true;
+}
+
+std::vector<std::string>
+scheduleNames()
+{
+    std::vector<std::string> names;
+    names.reserve(allScheduleKinds().size());
+    for (ScheduleKind kind : allScheduleKinds())
+        names.emplace_back(scheduleName(kind));
+    return names;
+}
+
+std::unique_ptr<Schedule>
+Schedule::createByName(const std::string &name)
+{
+    ScheduleKind kind;
+    if (!scheduleKindFromName(name, &kind)) {
+        std::string known;
+        for (const std::string &n : scheduleNames())
+            known += (known.empty() ? "" : ", ") + n;
+        FSMOE_FATAL("unknown schedule '", name, "'; known: ", known);
+    }
+    return create(kind);
+}
+
 double
 Schedule::iterationTimeMs(const ModelCost &model) const
 {
@@ -58,6 +135,20 @@ Schedule::simulate(const ModelCost &model, sim::TaskGraph *graph_out) const
 }
 
 namespace detail {
+
+const char *
+streamName(int stream)
+{
+    switch (stream) {
+      case kCompute: return "compute";
+      case kDispatch: return "dispatch";
+      case kAllGather: return "allgather";
+      case kReduceScatter: return "reducescatter";
+      case kCombine: return "combine";
+      case kGradAllReduce: return "grad-allreduce";
+      default: return nullptr;
+    }
+}
 
 namespace {
 

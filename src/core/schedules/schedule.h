@@ -88,6 +88,19 @@ const std::vector<ScheduleKind> &allScheduleKinds();
 /** Printable schedule name. */
 const char *scheduleName(ScheduleKind kind);
 
+/**
+ * Name -> kind lookup for CLI drivers and config files. Matching is
+ * case-insensitive and ignores separators ("PipeMoE+Lina" ==
+ * "pipemoe-lina"), and common aliases are registered ("dsmoe",
+ * "sequential", "lina", "no-iio", ...).
+ *
+ * @return true and sets @p kind on a match; false for unknown names.
+ */
+bool scheduleKindFromName(const std::string &name, ScheduleKind *kind);
+
+/** Canonical names accepted by scheduleKindFromName, display order. */
+std::vector<std::string> scheduleNames();
+
 /** Abstract schedule: builds one iteration's task graph. */
 class Schedule
 {
@@ -96,6 +109,12 @@ class Schedule
 
     /** Factory for every supported schedule kind. */
     static std::unique_ptr<Schedule> create(ScheduleKind kind);
+
+    /**
+     * Factory by registry name (see scheduleKindFromName); fatal on
+     * unknown names, listing the accepted ones.
+     */
+    static std::unique_ptr<Schedule> createByName(const std::string &name);
 
     virtual ScheduleKind kind() const = 0;
     const char *name() const { return scheduleName(kind()); }
@@ -124,6 +143,13 @@ enum Stream : int
     kGradAllReduce = 5,
     kNumStreams
 };
+
+/**
+ * Printable name of a builder-layout stream index; nullptr for
+ * indices outside the layout (trace exporters fall back to a generic
+ * label).
+ */
+const char *streamName(int stream);
 
 /** Options controlling how the MoE pipeline is emitted. */
 struct PipelineBuildOptions

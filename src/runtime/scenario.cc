@@ -1,0 +1,233 @@
+#include "runtime/scenario.h"
+
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace fsmoe::runtime {
+
+std::string
+Scenario::label() const
+{
+    std::ostringstream oss;
+    oss << model << '/' << cluster << '/' << core::scheduleName(schedule)
+        << "/b" << batch << "/L" << seqLen;
+    if (numLayers > 0)
+        oss << "/l" << numLayers;
+    if (numExperts > 0)
+        oss << "/e" << numExperts;
+    if (rMax != 16)
+        oss << "/r" << rMax;
+    return oss.str();
+}
+
+std::string
+Scenario::costKey() const
+{
+    std::ostringstream oss;
+    oss << model << '|' << cluster << '|' << batch << '|' << seqLen << '|'
+        << numLayers << '|' << numExperts << '|' << rMax;
+    return oss.str();
+}
+
+ScenarioRegistry &
+ScenarioRegistry::instance()
+{
+    static ScenarioRegistry registry;
+    return registry;
+}
+
+ScenarioRegistry::ScenarioRegistry()
+{
+    models_["gpt2xl-moe"] = [](int e, int64_t b, int64_t l, int layers) {
+        return model::gpt2XlMoe(e, b, l, layers > 0 ? layers : 24);
+    };
+    models_["mixtral-7b"] = [](int e, int64_t b, int64_t l, int layers) {
+        return model::mixtral7B(e, b, l, layers > 0 ? layers : 32);
+    };
+    models_["mixtral-22b"] = [](int e, int64_t b, int64_t l, int layers) {
+        return model::mixtral22B(e, b, l, layers > 0 ? layers : 33);
+    };
+    clusters_["testbedA"] = []() { return sim::testbedA(); };
+    clusters_["testbedB"] = []() { return sim::testbedB(); };
+}
+
+void
+ScenarioRegistry::registerModel(const std::string &name,
+                                ModelBuilder builder)
+{
+    FSMOE_CHECK_ARG(builder != nullptr, "null model builder for ", name);
+    std::lock_guard<std::mutex> lock(mu_);
+    models_[name] = std::move(builder);
+}
+
+void
+ScenarioRegistry::registerCluster(const std::string &name,
+                                  ClusterBuilder builder)
+{
+    FSMOE_CHECK_ARG(builder != nullptr, "null cluster builder for ", name);
+    std::lock_guard<std::mutex> lock(mu_);
+    clusters_[name] = std::move(builder);
+}
+
+bool
+ScenarioRegistry::hasModel(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return models_.count(name) > 0;
+}
+
+bool
+ScenarioRegistry::hasCluster(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return clusters_.count(name) > 0;
+}
+
+std::vector<std::string>
+ScenarioRegistry::modelNames() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(models_.size());
+    for (const auto &kv : models_)
+        names.push_back(kv.first);
+    return names;
+}
+
+std::vector<std::string>
+ScenarioRegistry::clusterNames() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(clusters_.size());
+    for (const auto &kv : clusters_)
+        names.push_back(kv.first);
+    return names;
+}
+
+sim::ClusterSpec
+ScenarioRegistry::makeCluster(const std::string &name) const
+{
+    ClusterBuilder builder;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = clusters_.find(name);
+        FSMOE_CHECK_ARG(it != clusters_.end(), "unknown cluster preset '",
+                        name, "'");
+        builder = it->second;
+    }
+    return builder();
+}
+
+model::ModelSpec
+ScenarioRegistry::makeModel(const Scenario &scenario,
+                            const sim::ClusterSpec &cluster) const
+{
+    ModelBuilder builder;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = models_.find(scenario.model);
+        FSMOE_CHECK_ARG(it != models_.end(), "unknown model preset '",
+                        scenario.model, "'");
+        builder = it->second;
+    }
+    const int experts = scenario.numExperts > 0 ? scenario.numExperts
+                                                : cluster.numNodes;
+    return builder(experts, scenario.batch, scenario.seqLen,
+                   scenario.numLayers);
+}
+
+core::ModelCost
+ScenarioRegistry::makeCost(const Scenario &scenario) const
+{
+    sim::ClusterSpec cluster = makeCluster(scenario.cluster);
+    model::ModelSpec spec = makeModel(scenario, cluster);
+    return model::makeModelCost(spec, cluster,
+                                model::paperParallelism(cluster),
+                                scenario.rMax);
+}
+
+ScenarioGrid &
+ScenarioGrid::models(std::vector<std::string> v)
+{
+    models_ = std::move(v);
+    return *this;
+}
+
+ScenarioGrid &
+ScenarioGrid::clusters(std::vector<std::string> v)
+{
+    clusters_ = std::move(v);
+    return *this;
+}
+
+ScenarioGrid &
+ScenarioGrid::schedules(std::vector<core::ScheduleKind> v)
+{
+    schedules_ = std::move(v);
+    return *this;
+}
+
+ScenarioGrid &
+ScenarioGrid::batches(std::vector<int64_t> v)
+{
+    batches_ = std::move(v);
+    return *this;
+}
+
+ScenarioGrid &
+ScenarioGrid::seqLens(std::vector<int64_t> v)
+{
+    seq_lens_ = std::move(v);
+    return *this;
+}
+
+ScenarioGrid &
+ScenarioGrid::numLayers(std::vector<int> v)
+{
+    num_layers_ = std::move(v);
+    return *this;
+}
+
+ScenarioGrid &
+ScenarioGrid::rMax(int r)
+{
+    FSMOE_CHECK_ARG(r >= 1, "rMax must be >= 1");
+    r_max_ = r;
+    return *this;
+}
+
+std::vector<Scenario>
+ScenarioGrid::build() const
+{
+    const std::vector<core::ScheduleKind> &kinds =
+        schedules_.empty() ? core::allScheduleKinds() : schedules_;
+    std::vector<Scenario> out;
+    out.reserve(models_.size() * clusters_.size() * batches_.size() *
+                seq_lens_.size() * num_layers_.size() * kinds.size());
+    for (const std::string &m : models_) {
+        for (const std::string &c : clusters_) {
+            for (int64_t b : batches_) {
+                for (int64_t l : seq_lens_) {
+                    for (int layers : num_layers_) {
+                        for (core::ScheduleKind k : kinds) {
+                            Scenario s;
+                            s.model = m;
+                            s.cluster = c;
+                            s.schedule = k;
+                            s.batch = b;
+                            s.seqLen = l;
+                            s.numLayers = layers;
+                            s.rMax = r_max_;
+                            out.push_back(std::move(s));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace fsmoe::runtime

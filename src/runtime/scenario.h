@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Scenario specifications for the sweep runtime.
+ *
+ * A Scenario names everything needed to price one training iteration:
+ * a model preset, a cluster preset, a schedule, and the workload knobs
+ * (batch, sequence length, layer/expert counts). Presets are resolved
+ * through a ScenarioRegistry so new models and testbeds can be plugged
+ * in without touching the engine, and ScenarioGrid enumerates
+ * cartesian-product sweeps in a deterministic order.
+ */
+#ifndef FSMOE_RUNTIME_SCENARIO_H
+#define FSMOE_RUNTIME_SCENARIO_H
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/schedules/schedule.h"
+#include "model/models.h"
+#include "sim/cluster.h"
+
+namespace fsmoe::runtime {
+
+/** One (model, cluster, schedule, knobs) evaluation point. */
+struct Scenario
+{
+    std::string model;   ///< Model preset name (see ScenarioRegistry).
+    std::string cluster; ///< Cluster preset name.
+    core::ScheduleKind schedule = core::ScheduleKind::FsMoe;
+    int64_t batch = 1;    ///< B: samples per GPU.
+    int64_t seqLen = 1024; ///< L: tokens per sample.
+    int numLayers = 0;    ///< Generalized layers; 0 = preset default.
+    int numExperts = 0;   ///< E; 0 = one expert per node (paper rule).
+    int rMax = 16;        ///< Largest pipeline degree schedules may use.
+
+    /** Human-readable id, e.g. "mixtral-7b/testbedA/FSMoE/b1/L1024". */
+    std::string label() const;
+
+    /**
+     * Key identifying the ModelCost this scenario needs: every field
+     * except the schedule, so all schedules of one configuration share
+     * a single cached cost evaluation.
+     */
+    std::string costKey() const;
+};
+
+/**
+ * Name-indexed builders for model and cluster presets. The built-in
+ * presets are the paper's: models "gpt2xl-moe", "mixtral-7b",
+ * "mixtral-22b"; clusters "testbedA", "testbedB". Thread-safe.
+ */
+class ScenarioRegistry
+{
+  public:
+    /// Builds a ModelSpec; @p num_layers <= 0 selects the preset default.
+    using ModelBuilder = std::function<model::ModelSpec(
+        int num_experts, int64_t batch, int64_t seq_len, int num_layers)>;
+    using ClusterBuilder = std::function<sim::ClusterSpec()>;
+
+    /** The process-wide registry, with built-ins pre-registered. */
+    static ScenarioRegistry &instance();
+
+    void registerModel(const std::string &name, ModelBuilder builder);
+    void registerCluster(const std::string &name, ClusterBuilder builder);
+
+    bool hasModel(const std::string &name) const;
+    bool hasCluster(const std::string &name) const;
+    std::vector<std::string> modelNames() const;
+    std::vector<std::string> clusterNames() const;
+
+    /** Instantiate the cluster preset @p name (fatal if unknown). */
+    sim::ClusterSpec makeCluster(const std::string &name) const;
+
+    /**
+     * Resolve @p scenario to a ModelSpec on @p cluster, applying the
+     * paper's defaults (E = cluster nodes when numExperts == 0).
+     */
+    model::ModelSpec makeModel(const Scenario &scenario,
+                               const sim::ClusterSpec &cluster) const;
+
+    /** Price @p scenario: cluster -> ModelSpec -> ModelCost. */
+    core::ModelCost makeCost(const Scenario &scenario) const;
+
+  private:
+    ScenarioRegistry();
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, ModelBuilder> models_;
+    std::unordered_map<std::string, ClusterBuilder> clusters_;
+};
+
+/**
+ * Cartesian-product sweep builder. Every axis defaults to one sensible
+ * value; schedules default to all six systems. build() emits scenarios
+ * in nested-loop order (model, cluster, batch, seqLen, layers,
+ * schedule), which fixes the result order of a sweep.
+ */
+class ScenarioGrid
+{
+  public:
+    ScenarioGrid &models(std::vector<std::string> v);
+    ScenarioGrid &clusters(std::vector<std::string> v);
+    ScenarioGrid &schedules(std::vector<core::ScheduleKind> v);
+    ScenarioGrid &batches(std::vector<int64_t> v);
+    ScenarioGrid &seqLens(std::vector<int64_t> v);
+    ScenarioGrid &numLayers(std::vector<int> v);
+    ScenarioGrid &rMax(int r);
+
+    std::vector<Scenario> build() const;
+
+  private:
+    std::vector<std::string> models_ = {"gpt2xl-moe"};
+    std::vector<std::string> clusters_ = {"testbedA"};
+    std::vector<core::ScheduleKind> schedules_; // empty = all kinds
+    std::vector<int64_t> batches_ = {1};
+    std::vector<int64_t> seq_lens_ = {1024};
+    std::vector<int> num_layers_ = {0};
+    int r_max_ = 16;
+};
+
+} // namespace fsmoe::runtime
+
+#endif // FSMOE_RUNTIME_SCENARIO_H

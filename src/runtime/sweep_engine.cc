@@ -1,0 +1,102 @@
+#include "runtime/sweep_engine.h"
+
+#include <chrono>
+#include <utility>
+
+#include "base/logging.h"
+
+namespace fsmoe::runtime {
+
+SweepEngine::SweepEngine(SweepOptions options) : options_(options) {}
+
+SweepStats
+SweepEngine::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+SweepEngine::clearCostCache()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    cost_cache_.clear();
+}
+
+std::shared_ptr<const core::ModelCost>
+SweepEngine::costFor(const Scenario &s)
+{
+    const std::string key = s.costKey();
+    std::promise<std::shared_ptr<const core::ModelCost>> promise;
+    std::shared_future<std::shared_ptr<const core::ModelCost>> hit;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = cost_cache_.find(key);
+        if (it != cost_cache_.end()) {
+            ++stats_.costCacheHits;
+            hit = it->second;
+        } else {
+            ++stats_.costCacheMisses;
+            cost_cache_.emplace(key, promise.get_future().share());
+        }
+    }
+    if (hit.valid())
+        return hit.get(); // may wait on the in-flight computing worker
+    try {
+        auto cost = std::make_shared<const core::ModelCost>(
+            ScenarioRegistry::instance().makeCost(s));
+        promise.set_value(cost);
+        return cost;
+    } catch (...) {
+        // Propagate to in-flight waiters but drop the entry, so a
+        // fixed preset (re-registered builder) can succeed later
+        // instead of replaying a stale failure forever.
+        promise.set_exception(std::current_exception());
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            cost_cache_.erase(key);
+        }
+        throw;
+    }
+}
+
+std::vector<ScenarioResult>
+SweepEngine::run(const std::vector<Scenario> &scenarios)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<ScenarioResult> results(scenarios.size());
+
+    {
+        ThreadPool pool(options_.numThreads, options_.queueCapacity);
+        std::vector<std::future<void>> done;
+        done.reserve(scenarios.size());
+        for (size_t i = 0; i < scenarios.size(); ++i) {
+            done.push_back(pool.submit([this, &scenarios, &results, i]() {
+                const Scenario &s = scenarios[i];
+                auto cost = costFor(s);
+                auto schedule = core::Schedule::create(s.schedule);
+                ScenarioResult &out = results[i];
+                out.scenario = s;
+                if (options_.keepGraphs) {
+                    out.sim = schedule->simulate(*cost, &out.graph);
+                } else {
+                    out.sim = schedule->simulate(*cost);
+                }
+                out.makespanMs = out.sim.makespan;
+            }));
+        }
+        for (auto &f : done)
+            f.get(); // rethrows worker exceptions
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.scenariosRun += scenarios.size();
+        stats_.lastSweepWallMs =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+    }
+    return results;
+}
+
+} // namespace fsmoe::runtime

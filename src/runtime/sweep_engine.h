@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The scenario-sweep engine: fans Scenario evaluations across a
+ * ThreadPool, memoizing ModelCost derivations so schedules that share
+ * a (model, cluster, knobs) configuration price the workload once.
+ *
+ * Determinism contract: the simulator itself is single-threaded and
+ * deterministic, and the engine parallelises only *across* scenarios —
+ * each scenario's graph is built and simulated by exactly one worker,
+ * and results land in input order. A sweep on N threads is therefore
+ * byte-identical to the same sweep on 1 thread (runtime_test asserts
+ * this).
+ */
+#ifndef FSMOE_RUNTIME_SWEEP_ENGINE_H
+#define FSMOE_RUNTIME_SWEEP_ENGINE_H
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/scenario.h"
+#include "runtime/thread_pool.h"
+#include "sim/simulator.h"
+#include "sim/task_graph.h"
+
+namespace fsmoe::runtime {
+
+/** Engine configuration. */
+struct SweepOptions
+{
+    /// Worker threads; 0 picks the hardware concurrency.
+    int numThreads = 0;
+    /// Bounded work-queue depth (backpressure for huge grids).
+    size_t queueCapacity = 256;
+    /// Also retain each scenario's TaskGraph (needed for Chrome-trace
+    /// export; costs memory proportional to grid size).
+    bool keepGraphs = false;
+};
+
+/** Outcome of one scenario. */
+struct ScenarioResult
+{
+    Scenario scenario;
+    double makespanMs = 0.0;
+    sim::SimResult sim;   ///< Full per-task timing.
+    sim::TaskGraph graph; ///< Populated only with keepGraphs.
+};
+
+/** Counters of one engine lifetime (cache persists across run calls). */
+struct SweepStats
+{
+    size_t scenariosRun = 0;
+    size_t costCacheHits = 0;
+    size_t costCacheMisses = 0;
+    double lastSweepWallMs = 0.0;
+};
+
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(SweepOptions options = {});
+
+    /**
+     * Evaluate every scenario and return results in input order.
+     * Reentrant with respect to the cost cache; not safe to call
+     * concurrently from multiple threads.
+     */
+    std::vector<ScenarioResult> run(const std::vector<Scenario> &scenarios);
+
+    const SweepOptions &options() const { return options_; }
+    SweepStats stats() const;
+
+    /** Drop every memoized ModelCost. */
+    void clearCostCache();
+
+  private:
+    /**
+     * Memoized ModelCost lookup. The first caller of a key inserts an
+     * in-flight future and computes (a miss); every later caller —
+     * including concurrent ones — waits on that future (a hit), so hit
+     * counts depend only on the scenario list, never on thread timing.
+     */
+    std::shared_ptr<const core::ModelCost> costFor(const Scenario &s);
+
+    SweepOptions options_;
+    mutable std::mutex mu_;
+    std::unordered_map<std::string,
+                       std::shared_future<
+                           std::shared_ptr<const core::ModelCost>>>
+        cost_cache_;
+    SweepStats stats_;
+};
+
+} // namespace fsmoe::runtime
+
+#endif // FSMOE_RUNTIME_SWEEP_ENGINE_H

@@ -1,0 +1,74 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace fsmoe::runtime {
+
+ThreadPool::ThreadPool(int num_threads, size_t queue_capacity)
+    : capacity_(std::max<size_t>(1, queue_capacity))
+{
+    if (num_threads <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        num_threads = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    workers_.reserve(num_threads);
+    for (int i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+size_t
+ThreadPool::submitted() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return submitted_;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> job)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this]() {
+        return stopping_ || queue_.size() < capacity_;
+    });
+    FSMOE_CHECK_ARG(!stopping_, "submit() on a stopped ThreadPool");
+    queue_.push_back(std::move(job));
+    ++submitted_;
+    lock.unlock();
+    not_empty_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            not_empty_.wait(lock, [this]() {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ with a drained queue
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        not_full_.notify_one();
+        job(); // packaged_task captures exceptions into the future
+    }
+}
+
+} // namespace fsmoe::runtime

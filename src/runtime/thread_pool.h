@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A fixed-size thread pool with a bounded work queue and futures-based
+ * submission, the execution substrate of the scenario-sweep runtime.
+ *
+ * The queue bound provides backpressure: submit() blocks once
+ * queueCapacity tasks are waiting, so a producer enumerating a huge
+ * scenario grid cannot outrun the workers and exhaust memory. Tasks
+ * are executed in FIFO order; results and exceptions propagate through
+ * the returned std::future.
+ */
+#ifndef FSMOE_RUNTIME_THREAD_POOL_H
+#define FSMOE_RUNTIME_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace fsmoe::runtime {
+
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p num_threads workers.
+     *
+     * @param num_threads    Worker count; 0 picks the hardware
+     *                       concurrency (at least 1).
+     * @param queue_capacity Maximum number of queued-but-unstarted
+     *                       tasks before submit() blocks.
+     */
+    explicit ThreadPool(int num_threads, size_t queue_capacity = 128);
+
+    /** Drains the queue, waits for running tasks, joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int numThreads() const { return static_cast<int>(workers_.size()); }
+    size_t queueCapacity() const { return capacity_; }
+
+    /** Tasks accepted so far (monotonic). */
+    size_t submitted() const;
+
+    /**
+     * Enqueue @p fn for execution; blocks while the queue is full.
+     * The future carries fn's return value or exception.
+     */
+    template <typename F>
+    auto submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> result = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return result;
+    }
+
+  private:
+    void enqueue(std::function<void()> job);
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    size_t capacity_ = 128;
+    size_t submitted_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace fsmoe::runtime
+
+#endif // FSMOE_RUNTIME_THREAD_POOL_H

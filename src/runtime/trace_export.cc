@@ -1,0 +1,94 @@
+#include "runtime/trace_export.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.h"
+#include "core/schedules/schedule.h"
+#include "sim/trace.h"
+
+namespace fsmoe::runtime {
+
+namespace {
+
+/** Minimal JSON string escaping (labels are plain ASCII in practice). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const sim::TaskGraph &graph, const sim::SimResult &result,
+                const std::string &process_name)
+{
+    const std::vector<sim::TraceEvent> events =
+        sim::traceEvents(graph, result);
+
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(3); // microsecond timestamps to nanosecond precision
+    oss << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+    oss << "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+           "\"args\":{\"name\":\""
+        << jsonEscape(process_name) << "\"}}";
+    for (int s = 0; s < graph.numStreams(); ++s) {
+        const char *label = core::detail::streamName(s);
+        std::string name = label != nullptr
+                               ? std::string(label)
+                               : "stream-" + std::to_string(s);
+        oss << ",{\"ph\":\"M\",\"pid\":0,\"tid\":" << s
+            << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << name
+            << "\"}}";
+    }
+
+    for (const sim::TraceEvent &ev : events) {
+        oss << ",{\"ph\":\"X\",\"pid\":0,\"tid\":" << ev.stream
+            << ",\"name\":\"" << jsonEscape(ev.name) << "\",\"cat\":\""
+            << sim::opTypeName(ev.op) << "\",\"ts\":" << ev.startMs * 1000.0
+            << ",\"dur\":" << ev.durationMs * 1000.0
+            << ",\"args\":{\"task\":" << ev.id << ",\"link\":\""
+            << sim::linkName(ev.link) << "\"}}";
+    }
+    oss << "]}";
+    return oss.str();
+}
+
+bool
+writeChromeTrace(const std::string &path, const sim::TaskGraph &graph,
+                 const sim::SimResult &result,
+                 const std::string &process_name)
+{
+    const std::string json = chromeTraceJson(graph, result, process_name);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        FSMOE_WARN("cannot open trace file '", path, "' for writing");
+        return false;
+    }
+    const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    return written == json.size();
+}
+
+} // namespace fsmoe::runtime

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Chrome trace_event exporter: turns a simulated schedule into a JSON
+ * document loadable in chrome://tracing (or Perfetto's legacy-trace
+ * importer), one timeline row per stream. Times are emitted in
+ * microseconds as the format requires; displayTimeUnit keeps the UI in
+ * milliseconds to match the simulator's native unit.
+ */
+#ifndef FSMOE_RUNTIME_TRACE_EXPORT_H
+#define FSMOE_RUNTIME_TRACE_EXPORT_H
+
+#include <string>
+
+#include "sim/simulator.h"
+#include "sim/task_graph.h"
+
+namespace fsmoe::runtime {
+
+/**
+ * Render @p result (produced from @p graph) as a complete Chrome
+ * trace JSON object. Each task becomes one complete ("ph":"X") event
+ * with its op class as the category and its link in args; streams are
+ * named after the schedule-builder layout (compute, dispatch, ...).
+ *
+ * @param process_name Label for the single emitted process, e.g. the
+ *                     scenario label.
+ */
+std::string chromeTraceJson(const sim::TaskGraph &graph,
+                            const sim::SimResult &result,
+                            const std::string &process_name = "fsmoe");
+
+/**
+ * Write chromeTraceJson() to @p path. Returns false (with a warning)
+ * if the file cannot be opened.
+ */
+bool writeChromeTrace(const std::string &path, const sim::TaskGraph &graph,
+                      const sim::SimResult &result,
+                      const std::string &process_name = "fsmoe");
+
+} // namespace fsmoe::runtime
+
+#endif // FSMOE_RUNTIME_TRACE_EXPORT_H

@@ -1,0 +1,42 @@
+#include "sim/trace.h"
+
+#include "base/logging.h"
+
+namespace fsmoe::sim {
+
+const char *
+linkName(Link link)
+{
+    switch (link) {
+      case Link::InterNode: return "inter-node";
+      case Link::IntraNode: return "intra-node";
+      case Link::Compute: return "compute";
+      default: return "?";
+    }
+}
+
+std::vector<TraceEvent>
+traceEvents(const TaskGraph &graph, const SimResult &result)
+{
+    FSMOE_CHECK_ARG(result.trace.size() == graph.size(),
+                    "SimResult has ", result.trace.size(),
+                    " trace records for a graph of ", graph.size(),
+                    " tasks; was it produced from this graph?");
+    std::vector<TraceEvent> events;
+    events.reserve(graph.size());
+    for (const TaskTrace &tt : result.trace) {
+        const Task &task = graph.task(tt.id);
+        TraceEvent ev;
+        ev.id = tt.id;
+        ev.name = task.name;
+        ev.op = task.op;
+        ev.link = task.link;
+        ev.stream = task.stream;
+        ev.startMs = tt.start;
+        ev.durationMs = tt.finish - tt.start;
+        events.push_back(std::move(ev));
+    }
+    return events;
+}
+
+} // namespace fsmoe::sim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Structured timeline extraction from a simulated run — the hook trace
+ * exporters build on. Pairs each TaskGraph task with its SimResult
+ * timing and presents the merged record in task-id order.
+ */
+#ifndef FSMOE_SIM_TRACE_H
+#define FSMOE_SIM_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/task_graph.h"
+
+namespace fsmoe::sim {
+
+/** One executed task with its identity and placement. */
+struct TraceEvent
+{
+    TaskId id = -1;
+    std::string name;       ///< Task label from the graph.
+    OpType op = OpType::Other;
+    Link link = Link::Compute;
+    int stream = 0;
+    double startMs = 0.0;
+    double durationMs = 0.0;
+};
+
+/** Short printable name of a Link. */
+const char *linkName(Link link);
+
+/**
+ * Merge @p graph and @p result into per-task events, ordered by task
+ * id. The result must come from running exactly @p graph.
+ */
+std::vector<TraceEvent> traceEvents(const TaskGraph &graph,
+                                    const SimResult &result);
+
+} // namespace fsmoe::sim
+
+#endif // FSMOE_SIM_TRACE_H
