@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Measures the sweep engine's two memoization tiers on the demo grid:
+ * a cold sweep (both caches empty), a warm sweep with only the
+ * ModelCost cache (SimResult cache disabled), and a warm sweep with
+ * both tiers — the repeated-sweep case that regression baselining
+ * (fsmoe_sweep --diff) exercises on every run.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/scenario.h"
+#include "runtime/sweep_engine.h"
+
+namespace {
+
+using namespace fsmoe;
+
+std::vector<runtime::Scenario>
+demoGrid()
+{
+    auto a = runtime::ScenarioGrid()
+                 .models({"gpt2xl-moe", "mixtral-7b"})
+                 .clusters({"testbedA"})
+                 .seqLens({1024})
+                 .batches({1, 2})
+                 .build();
+    auto b = runtime::ScenarioGrid()
+                 .models({"gpt2xl-moe", "mixtral-7b"})
+                 .clusters({"testbedB"})
+                 .seqLens({256})
+                 .batches({1, 2})
+                 .build();
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+}
+
+struct Sample
+{
+    const char *label;
+    double wallMs;
+    runtime::SweepStats stats;
+};
+
+void
+printSample(const Sample &s, double cold_ms)
+{
+    std::printf("%-34s %9.1f ms %7.1fx   %4zu/%-4zu %6zu/%-4zu\n",
+                s.label, s.wallMs, cold_ms / s.wallMs,
+                s.stats.costCacheHits, s.stats.costCacheMisses,
+                s.stats.simCacheHits, s.stats.simCacheMisses);
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto grid = demoGrid();
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "Sweep-cache tiers on the %zu-scenario demo grid "
+                  "(4 threads)",
+                  grid.size());
+    bench::header(title);
+    std::printf("%-34s %12s %8s   %-9s %-10s\n", "configuration",
+                "wall", "speedup", "cost h/m", "sim h/m");
+    bench::rule();
+
+    // Cold: every ModelCost derivation and every simulation runs.
+    runtime::SweepOptions opts;
+    opts.numThreads = 4;
+    runtime::SweepEngine engine(opts);
+    engine.run(grid);
+    Sample cold{"cold (no warm state)", engine.stats().lastSweepWallMs,
+                engine.stats()};
+
+    // Warm, cost cache only: simulations rerun, pricing is cached.
+    runtime::SweepOptions cost_only = opts;
+    cost_only.enableSimCache = false;
+    runtime::SweepEngine cost_engine(cost_only);
+    cost_engine.run(grid);
+    cost_engine.run(grid);
+    Sample cost_warm{"warm, ModelCost cache only",
+                     cost_engine.stats().lastSweepWallMs,
+                     cost_engine.stats()};
+
+    // Warm, both tiers: the whole sweep is served from memory.
+    engine.run(grid);
+    Sample both_warm{"warm, ModelCost + SimResult",
+                     engine.stats().lastSweepWallMs, engine.stats()};
+
+    printSample(cold, cold.wallMs);
+    printSample(cost_warm, cold.wallMs);
+    printSample(both_warm, cold.wallMs);
+    bench::rule();
+    std::printf("h/m = cumulative cache hits/misses over the engine's "
+                "lifetime.\n");
+    return 0;
+}

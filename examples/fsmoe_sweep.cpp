@@ -4,15 +4,30 @@
  *
  * Evaluates a (model x cluster x batch) grid across all six schedules
  * on the sweep runtime's thread pool and prints, per configuration, a
- * makespan-ranked table of the schedules. Options:
+ * makespan-ranked table of the schedules. Results can be persisted
+ * (JSON/CSV), diffed against a stored baseline with a tolerance gate,
+ * and the grid can be sharded across processes. Options:
  *
- *   --threads N    worker threads (default: hardware concurrency)
- *   --batches LIST comma-separated per-GPU batch sizes (default: 1,2)
- *   --trace FILE   export the best-ranked scenario of the grid as
- *                  Chrome trace JSON (open in chrome://tracing)
- *   --selftest     run the grid on 1 thread and again on 4, verify the
- *                  results are bit-identical, and report both wall
- *                  times; exits non-zero on any mismatch
+ *   --threads N      worker threads (default: hardware concurrency)
+ *   --batches LIST   comma-separated per-GPU batch sizes (default: 1,2)
+ *   --trace FILE     export the best-ranked scenario of the grid as
+ *                    Chrome trace JSON (open in chrome://tracing)
+ *   --out-json FILE  persist the sweep's results as JSON
+ *   --out-csv FILE   persist the sweep's results as CSV
+ *   --diff BASELINE  compare this sweep against a stored result file
+ *                    (.json or .csv); exits 1 if any scenario's
+ *                    makespan drifts beyond the tolerance or the
+ *                    scenario sets differ
+ *   --tolerance PCT  relative drift allowed by --diff, in percent
+ *                    (default 0 = bit-exact)
+ *   --shard K/N      run only the K-th of N contiguous grid slices;
+ *                    persisted shard files merge (fsmoe_diff --merge)
+ *                    into a byte-identical unsharded result
+ *   --no-sim-cache   disable the (costKey, schedule) SimResult cache
+ *   --selftest       determinism + persistence self-checks: serial vs
+ *                    4-thread bit-identity, JSON/CSV round-trip,
+ *                    self-diff, and shard partition coverage; exits
+ *                    non-zero on any mismatch
  */
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/result_store.h"
 #include "runtime/scenario.h"
 #include "runtime/sweep_engine.h"
 #include "runtime/trace_export.h"
@@ -137,6 +153,72 @@ identicalResults(const std::vector<runtime::ScenarioResult> &a,
     return true;
 }
 
+/** memcmp-level equality of two persisted result sets. */
+bool
+identicalSweepResults(const std::vector<runtime::SweepResult> &a,
+                      const std::vector<runtime::SweepResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].key() != b[i].key() ||
+            std::memcmp(&a[i].makespanMs, &b[i].makespanMs,
+                        sizeof(double)) != 0 ||
+            std::memcmp(a[i].opTimeMs.data(), b[i].opTimeMs.data(),
+                        sizeof(double) * a[i].opTimeMs.size()) != 0)
+            return false;
+    }
+    return true;
+}
+
+/** Persistence self-checks: round-trip, self-diff, shard coverage. */
+bool
+persistenceSelftest(const std::vector<runtime::Scenario> &grid,
+                    const std::vector<runtime::ScenarioResult> &results)
+{
+    const auto records = runtime::toSweepResults(results);
+    bool ok = true;
+
+    std::vector<runtime::SweepResult> reread;
+    std::string error = "re-read results differ";
+    if (!runtime::parseJson(runtime::toJson(records), &reread, &error) ||
+        !identicalSweepResults(records, reread)) {
+        std::printf("  JSON round-trip FAILED: %s\n", error.c_str());
+        ok = false;
+    }
+    error = "re-read results differ";
+    if (!runtime::parseCsv(runtime::toCsv(records), &reread, &error) ||
+        !identicalSweepResults(records, reread)) {
+        std::printf("  CSV round-trip FAILED: %s\n", error.c_str());
+        ok = false;
+    }
+
+    const auto self = runtime::diffResults(records, records);
+    if (!self.passes(0.0)) {
+        std::printf("  self-diff FAILED:\n%s",
+                    runtime::formatDiff(self, 0.0).c_str());
+        ok = false;
+    }
+
+    // Shard 1/3..3/3 must partition the grid: disjoint, in order,
+    // union == full grid.
+    std::vector<runtime::Scenario> merged;
+    for (int k = 1; k <= 3; ++k) {
+        auto part = runtime::shardScenarios(grid, {k, 3});
+        merged.insert(merged.end(), part.begin(), part.end());
+    }
+    bool shards_ok = merged.size() == grid.size();
+    for (size_t i = 0; shards_ok && i < grid.size(); ++i)
+        shards_ok = merged[i].label() == grid[i].label();
+    if (!shards_ok) {
+        std::printf("  shard partition FAILED\n");
+        ok = false;
+    }
+    std::printf("  persistence round-trip + self-diff + shards: %s\n",
+                ok ? "ok" : "FAILED");
+    return ok;
+}
+
 int
 selftest(const std::vector<runtime::Scenario> &grid)
 {
@@ -150,26 +232,47 @@ selftest(const std::vector<runtime::Scenario> &grid)
     auto parallel_results = parallel.run(grid);
     const double parallel_ms = parallel.stats().lastSweepWallMs;
 
-    // A second sweep on the warm engine: every ModelCost is served
-    // from the cache, which is the repeated-sweep case the cache is
-    // for.
+    // A second sweep on the warm engine: every ModelCost and every
+    // SimResult is served from the caches, which is the repeated-sweep
+    // case the caches are for.
     auto warm_results = parallel.run(grid);
     const double warm_ms = parallel.stats().lastSweepWallMs;
+    const runtime::SweepStats warm_stats = parallel.stats();
 
     const bool same = identicalResults(serial_results, parallel_results) &&
                       identicalResults(serial_results, warm_results);
     std::printf("  1 thread        : %9.1f ms\n", serial_ms);
     std::printf("  4 threads (cold): %9.1f ms  (%.2fx)\n", parallel_ms,
                 serial_ms / parallel_ms);
-    std::printf("  4 threads (warm): %9.1f ms  (%.2fx, costs cached)\n",
-                warm_ms, serial_ms / warm_ms);
+    std::printf("  4 threads (warm): %9.1f ms  (%.2fx, %zu sim-cache "
+                "hits)\n",
+                warm_ms, serial_ms / warm_ms, warm_stats.simCacheHits);
     std::printf("  results bit-identical: %s\n", same ? "yes" : "NO");
+    const bool cached = warm_stats.simCacheHits == grid.size();
+    if (!cached)
+        std::printf("  sim cache FAILED: %zu hits, expected %zu\n",
+                    warm_stats.simCacheHits, grid.size());
+
+    const bool persist_ok = persistenceSelftest(grid, serial_results);
+
     const unsigned hw = std::thread::hardware_concurrency();
     if (hw < 2)
         std::printf("  note: this host exposes %u CPU(s); thread-level "
                     "speedup needs more cores\n",
                     hw);
-    return same ? 0 : 1;
+    return same && cached && persist_ok ? 0 : 1;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--threads N] [--batches LIST] [--trace FILE]\n"
+                 "          [--out-json FILE] [--out-csv FILE]\n"
+                 "          [--diff BASELINE] [--tolerance PCT]\n"
+                 "          [--shard K/N] [--no-sim-cache] [--selftest]\n",
+                 argv0);
+    return 2;
 }
 
 } // namespace
@@ -180,6 +283,12 @@ main(int argc, char **argv)
     int threads = 0;
     std::vector<int64_t> batches = {1, 2};
     const char *trace_path = nullptr;
+    const char *out_json = nullptr;
+    const char *out_csv = nullptr;
+    const char *diff_baseline = nullptr;
+    double tolerance_pct = 0.0;
+    runtime::ShardSpec shard;
+    bool sim_cache = true;
     bool run_selftest = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -189,23 +298,48 @@ main(int argc, char **argv)
             batches = parseBatches(argv[++i]);
         } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--out-json") == 0 && i + 1 < argc) {
+            out_json = argv[++i];
+        } else if (std::strcmp(argv[i], "--out-csv") == 0 && i + 1 < argc) {
+            out_csv = argv[++i];
+        } else if (std::strcmp(argv[i], "--diff") == 0 && i + 1 < argc) {
+            diff_baseline = argv[++i];
+        } else if (std::strcmp(argv[i], "--tolerance") == 0 &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            tolerance_pct = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' || tolerance_pct < 0.0) {
+                std::fprintf(stderr, "bad --tolerance '%s'\n", argv[i]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
+            if (!runtime::parseShardSpec(argv[++i], &shard)) {
+                std::fprintf(stderr,
+                             "bad --shard '%s' (want K/N, 1 <= K <= N)\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--no-sim-cache") == 0) {
+            sim_cache = false;
         } else if (std::strcmp(argv[i], "--selftest") == 0) {
             run_selftest = true;
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--threads N] [--batches LIST] "
-                         "[--trace FILE] [--selftest]\n",
-                         argv[0]);
-            return 2;
+            return usage(argv[0]);
         }
     }
 
-    const std::vector<runtime::Scenario> grid = makeGrid(batches);
+    std::vector<runtime::Scenario> grid = makeGrid(batches);
     if (run_selftest) {
         if (trace_path != nullptr)
             std::fprintf(stderr,
                          "warning: --trace is ignored with --selftest\n");
         return selftest(grid);
+    }
+    if (shard.count > 1) {
+        const size_t full = grid.size();
+        grid = runtime::shardScenarios(grid, shard);
+        std::printf("shard %d/%d: %zu of %zu scenarios\n", shard.index,
+                    shard.count, grid.size(), full);
     }
 
     if (threads <= 0) {
@@ -215,6 +349,7 @@ main(int argc, char **argv)
     runtime::SweepOptions opts;
     opts.numThreads = threads;
     opts.keepGraphs = trace_path != nullptr;
+    opts.enableSimCache = sim_cache;
     runtime::SweepEngine engine(opts);
     auto results = engine.run(grid);
 
@@ -222,9 +357,22 @@ main(int argc, char **argv)
 
     const runtime::SweepStats stats = engine.stats();
     std::printf("\n%zu scenarios on %d threads in %.1f ms; cost cache: "
-                "%zu misses, %zu hits\n",
+                "%zu misses, %zu hits; sim cache: %zu misses, %zu hits\n",
                 stats.scenariosRun, threads, stats.lastSweepWallMs,
-                stats.costCacheMisses, stats.costCacheHits);
+                stats.costCacheMisses, stats.costCacheHits,
+                stats.simCacheMisses, stats.simCacheHits);
+
+    const auto records = runtime::toSweepResults(results);
+    if (out_json != nullptr) {
+        if (!runtime::writeResultsJson(out_json, records))
+            return 2;
+        std::printf("wrote %zu results to %s\n", records.size(), out_json);
+    }
+    if (out_csv != nullptr) {
+        if (!runtime::writeResultsCsv(out_csv, records))
+            return 2;
+        std::printf("wrote %zu results to %s\n", records.size(), out_csv);
+    }
 
     if (trace_path != nullptr) {
         const runtime::ScenarioResult *best = &results.front();
@@ -236,6 +384,22 @@ main(int argc, char **argv)
             std::printf("wrote chrome://tracing JSON for %s to %s\n",
                         best->scenario.label().c_str(), trace_path);
         else
+            return 1;
+    }
+
+    if (diff_baseline != nullptr) {
+        std::vector<runtime::SweepResult> baseline;
+        std::string error;
+        if (!runtime::readResults(diff_baseline, &baseline, &error)) {
+            std::fprintf(stderr, "cannot read baseline %s: %s\n",
+                         diff_baseline, error.c_str());
+            return 2;
+        }
+        const double tol = tolerance_pct / 100.0;
+        const auto report = runtime::diffResults(baseline, records);
+        std::printf("\ndiff vs %s:\n%s", diff_baseline,
+                    runtime::formatDiff(report, tol).c_str());
+        if (!report.passes(tol))
             return 1;
     }
     return 0;

@@ -1,0 +1,885 @@
+#include "runtime/result_store.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/logging.h"
+
+namespace fsmoe::runtime {
+
+namespace {
+
+constexpr size_t kNumOps = static_cast<size_t>(sim::OpType::NumOpTypes);
+
+const char *
+opName(size_t i)
+{
+    return sim::opTypeName(static_cast<sim::OpType>(i));
+}
+
+/**
+ * Shortest representation that re-parses to the identical bit
+ * pattern: 17 significant digits are sufficient (and necessary in the
+ * worst case) for IEEE-754 binary64.
+ */
+std::string
+fmtDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+bool
+parseDouble(const std::string &text, double *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    *out = std::strtod(text.c_str(), &end);
+    return end == text.c_str() + text.size();
+}
+
+bool
+parseInt64(const std::string &text, int64_t *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    *out = std::strtoll(text.c_str(), &end, 10);
+    return end == text.c_str() + text.size();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+// ------------------------------------------------------------ JSON in
+
+/**
+ * Minimal JSON value model + recursive-descent parser, just rich
+ * enough for the result schema (and tolerant of unknown fields).
+ * Object member order is preserved but lookups are by name.
+ */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *find(const char *name) const
+    {
+        for (const auto &kv : object)
+            if (kv.first == name)
+                return &kv.second;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    bool parse(JsonValue *out, std::string *error)
+    {
+        skipWs();
+        if (!value(out))
+            return fail(error);
+        skipWs();
+        if (pos_ != s_.size())
+            return fail(error, "trailing characters");
+        return true;
+    }
+
+  private:
+    bool fail(std::string *error, const char *what = "malformed JSON")
+    {
+        if (error) {
+            std::ostringstream oss;
+            oss << what << " at byte " << pos_;
+            *error = oss.str();
+        }
+        return false;
+    }
+
+    bool value(JsonValue *out)
+    {
+        // Recursion guard: reject pathological nesting instead of
+        // overflowing the stack on attacker-shaped input.
+        if (depth_ >= 64)
+            return false;
+        ++depth_;
+        const bool ok = valueInner(out);
+        --depth_;
+        return ok;
+    }
+
+    bool valueInner(JsonValue *out)
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': return object(out);
+          case '[': return array(out);
+          case '"':
+            out->kind = JsonValue::Kind::String;
+            return string(&out->string);
+          case 't': return literal("true", out, true);
+          case 'f': return literal("false", out, false);
+          case 'n':
+            out->kind = JsonValue::Kind::Null;
+            return word("null");
+          default: return number(out);
+        }
+    }
+
+    bool object(JsonValue *out)
+    {
+        out->kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string name;
+            if (!string(&name))
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            JsonValue member;
+            if (!value(&member))
+                return false;
+            out->object.emplace_back(std::move(name), std::move(member));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool array(JsonValue *out)
+    {
+        out->kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            JsonValue element;
+            if (!value(&element))
+                return false;
+            out->array.push_back(std::move(element));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool string(std::string *out)
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        out->clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                return false;
+            char esc = s_[pos_++];
+            switch (esc) {
+              case '"': *out += '"'; break;
+              case '\\': *out += '\\'; break;
+              case '/': *out += '/'; break;
+              case 'b': *out += '\b'; break;
+              case 'f': *out += '\f'; break;
+              case 'n': *out += '\n'; break;
+              case 'r': *out += '\r'; break;
+              case 't': *out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    return false;
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return false;
+                }
+                // The writer only emits \u00xx control escapes;
+                // reject anything wider rather than mis-decode it.
+                if (code > 0xff)
+                    return false;
+                *out += static_cast<char>(code);
+                break;
+              }
+              default: return false;
+            }
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool number(JsonValue *out)
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return false;
+        out->kind = JsonValue::Kind::Number;
+        return parseDouble(s_.substr(start, pos_ - start), &out->number);
+    }
+
+    bool literal(const char *text, JsonValue *out, bool value)
+    {
+        out->kind = JsonValue::Kind::Bool;
+        out->boolean = value;
+        return word(text);
+    }
+
+    bool word(const char *text)
+    {
+        size_t n = std::strlen(text);
+        if (s_.compare(pos_, n, text) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+bool
+jsonString(const JsonValue *v, std::string *out)
+{
+    if (v == nullptr || v->kind != JsonValue::Kind::String)
+        return false;
+    *out = v->string;
+    return true;
+}
+
+bool
+jsonNumber(const JsonValue *v, double *out)
+{
+    if (v == nullptr || v->kind != JsonValue::Kind::Number)
+        return false;
+    *out = v->number;
+    return true;
+}
+
+bool
+jsonInt(const JsonValue *v, int64_t *out)
+{
+    double d;
+    if (!jsonNumber(v, &d))
+        return false;
+    *out = static_cast<int64_t>(d);
+    return true;
+}
+
+// ------------------------------------------------------------- CSV
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/**
+ * Split one CSV record (no trailing newline) into fields, honouring
+ * quoted fields with doubled-quote escapes.
+ */
+bool
+splitCsvRecord(const std::string &line, std::vector<std::string> *fields)
+{
+    fields->clear();
+    std::string cur;
+    bool quoted = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cur += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cur += c;
+            }
+        } else if (c == '"' && cur.empty()) {
+            quoted = true;
+        } else if (c == ',') {
+            fields->push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (quoted)
+        return false; // unterminated quote
+    fields->push_back(cur);
+    return true;
+}
+
+/**
+ * Split CSV text into records, honouring quotes: a newline inside a
+ * quoted field belongs to the field, not the record separator. CRLF
+ * record endings are normalised. Returns false on an unterminated
+ * quote at end of input.
+ */
+bool
+splitCsvRecords(const std::string &text, std::vector<std::string> *records)
+{
+    records->clear();
+    std::string cur;
+    bool quoted = false;
+    for (char c : text) {
+        if (c == '"') {
+            // A doubled escape toggles twice; net state stays correct.
+            quoted = !quoted;
+            cur += c;
+        } else if (c == '\n' && !quoted) {
+            if (!cur.empty() && cur.back() == '\r')
+                cur.pop_back();
+            records->push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (quoted)
+        return false;
+    if (!cur.empty())
+        records->push_back(cur);
+    return true;
+}
+
+std::vector<std::string>
+csvHeader()
+{
+    std::vector<std::string> cols = {
+        "model",      "cluster",     "schedule",
+        "batch",      "seq_len",     "num_layers",
+        "num_experts", "r_max",      "makespan_ms",
+    };
+    for (size_t i = 0; i < kNumOps; ++i)
+        cols.push_back(std::string("op_") + opName(i) + "_ms");
+    return cols;
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        FSMOE_WARN("cannot open '", path, "' for writing");
+        return false;
+    }
+    out << text;
+    out.close();
+    if (!out) {
+        FSMOE_WARN("short write to '", path, "'");
+        return false;
+    }
+    return true;
+}
+
+bool
+readTextFile(const std::string &path, std::string *text, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    *text = oss.str();
+    return true;
+}
+
+} // namespace
+
+// ---------------------------------------------------------- records
+
+std::string
+SweepResult::key() const
+{
+    // Mirrors Scenario::label() so persisted keys match live labels.
+    std::ostringstream oss;
+    oss << model << '/' << cluster << '/' << schedule << "/b" << batch
+        << "/L" << seqLen;
+    if (numLayers > 0)
+        oss << "/l" << numLayers;
+    if (numExperts > 0)
+        oss << "/e" << numExperts;
+    if (rMax != 16)
+        oss << "/r" << rMax;
+    return oss.str();
+}
+
+SweepResult
+SweepResult::fromScenarioResult(const ScenarioResult &r)
+{
+    SweepResult out;
+    out.model = r.scenario.model;
+    out.cluster = r.scenario.cluster;
+    out.schedule = core::scheduleName(r.scenario.schedule);
+    out.batch = r.scenario.batch;
+    out.seqLen = r.scenario.seqLen;
+    out.numLayers = r.scenario.numLayers;
+    out.numExperts = r.scenario.numExperts;
+    out.rMax = r.scenario.rMax;
+    out.makespanMs = r.makespanMs;
+    for (size_t i = 0; i < kNumOps; ++i)
+        out.opTimeMs[i] = r.sim.opTime[i];
+    return out;
+}
+
+std::vector<SweepResult>
+toSweepResults(const std::vector<ScenarioResult> &results)
+{
+    std::vector<SweepResult> out;
+    out.reserve(results.size());
+    for (const ScenarioResult &r : results)
+        out.push_back(SweepResult::fromScenarioResult(r));
+    return out;
+}
+
+// ------------------------------------------------------------ writers
+
+std::string
+toJson(const std::vector<SweepResult> &results)
+{
+    std::ostringstream oss;
+    oss << "{\"schema\":\"fsmoe-sweep-results\",\"version\":1,"
+           "\"results\":[";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const SweepResult &r = results[i];
+        oss << (i == 0 ? "\n" : ",\n");
+        oss << "{\"model\":\"" << jsonEscape(r.model) << "\","
+            << "\"cluster\":\"" << jsonEscape(r.cluster) << "\","
+            << "\"schedule\":\"" << jsonEscape(r.schedule) << "\","
+            << "\"batch\":" << r.batch << ","
+            << "\"seq_len\":" << r.seqLen << ","
+            << "\"num_layers\":" << r.numLayers << ","
+            << "\"num_experts\":" << r.numExperts << ","
+            << "\"r_max\":" << r.rMax << ","
+            << "\"makespan_ms\":" << fmtDouble(r.makespanMs) << ","
+            << "\"op_time_ms\":{";
+        for (size_t op = 0; op < kNumOps; ++op) {
+            oss << (op == 0 ? "" : ",") << '"' << opName(op)
+                << "\":" << fmtDouble(r.opTimeMs[op]);
+        }
+        oss << "}}";
+    }
+    oss << "\n]}\n";
+    return oss.str();
+}
+
+std::string
+toCsv(const std::vector<SweepResult> &results)
+{
+    std::ostringstream oss;
+    const std::vector<std::string> header = csvHeader();
+    for (size_t i = 0; i < header.size(); ++i)
+        oss << (i == 0 ? "" : ",") << header[i];
+    oss << '\n';
+    for (const SweepResult &r : results) {
+        oss << csvEscape(r.model) << ',' << csvEscape(r.cluster) << ','
+            << csvEscape(r.schedule) << ',' << r.batch << ',' << r.seqLen
+            << ',' << r.numLayers << ',' << r.numExperts << ',' << r.rMax
+            << ',' << fmtDouble(r.makespanMs);
+        for (size_t op = 0; op < kNumOps; ++op)
+            oss << ',' << fmtDouble(r.opTimeMs[op]);
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+// ------------------------------------------------------------ readers
+
+bool
+parseJson(const std::string &text, std::vector<SweepResult> *out,
+          std::string *error)
+{
+    JsonValue root;
+    if (!JsonParser(text).parse(&root, error))
+        return false;
+    if (root.kind != JsonValue::Kind::Object) {
+        if (error)
+            *error = "top level is not an object";
+        return false;
+    }
+    std::string schema;
+    if (!jsonString(root.find("schema"), &schema) ||
+        schema != "fsmoe-sweep-results") {
+        if (error)
+            *error = "missing or unknown \"schema\"";
+        return false;
+    }
+    const JsonValue *results = root.find("results");
+    if (results == nullptr || results->kind != JsonValue::Kind::Array) {
+        if (error)
+            *error = "missing \"results\" array";
+        return false;
+    }
+
+    out->clear();
+    out->reserve(results->array.size());
+    for (size_t i = 0; i < results->array.size(); ++i) {
+        const JsonValue &entry = results->array[i];
+        const auto bad = [&](const char *field) {
+            if (error) {
+                std::ostringstream oss;
+                oss << "result " << i << ": missing or mistyped \""
+                    << field << '"';
+                *error = oss.str();
+            }
+            return false;
+        };
+        if (entry.kind != JsonValue::Kind::Object) {
+            if (error)
+                *error = "results entry is not an object";
+            return false;
+        }
+        SweepResult r;
+        if (!jsonString(entry.find("model"), &r.model))
+            return bad("model");
+        if (!jsonString(entry.find("cluster"), &r.cluster))
+            return bad("cluster");
+        if (!jsonString(entry.find("schedule"), &r.schedule))
+            return bad("schedule");
+        int64_t n = 0;
+        if (!jsonInt(entry.find("batch"), &r.batch))
+            return bad("batch");
+        if (!jsonInt(entry.find("seq_len"), &r.seqLen))
+            return bad("seq_len");
+        if (!jsonInt(entry.find("num_layers"), &n))
+            return bad("num_layers");
+        r.numLayers = static_cast<int>(n);
+        if (!jsonInt(entry.find("num_experts"), &n))
+            return bad("num_experts");
+        r.numExperts = static_cast<int>(n);
+        if (!jsonInt(entry.find("r_max"), &n))
+            return bad("r_max");
+        r.rMax = static_cast<int>(n);
+        if (!jsonNumber(entry.find("makespan_ms"), &r.makespanMs))
+            return bad("makespan_ms");
+        const JsonValue *ops = entry.find("op_time_ms");
+        if (ops == nullptr || ops->kind != JsonValue::Kind::Object)
+            return bad("op_time_ms");
+        for (size_t op = 0; op < kNumOps; ++op) {
+            if (!jsonNumber(ops->find(opName(op)), &r.opTimeMs[op]))
+                return bad(opName(op));
+        }
+        out->push_back(std::move(r));
+    }
+    return true;
+}
+
+bool
+parseCsv(const std::string &text, std::vector<SweepResult> *out,
+         std::string *error)
+{
+    std::vector<std::string> records;
+    if (!splitCsvRecords(text, &records)) {
+        if (error)
+            *error = "CSV: unterminated quote";
+        return false;
+    }
+    if (records.empty()) {
+        if (error)
+            *error = "empty CSV";
+        return false;
+    }
+    std::vector<std::string> fields;
+    if (!splitCsvRecord(records[0], &fields) || fields != csvHeader()) {
+        if (error)
+            *error = "CSV header does not match the sweep-result schema";
+        return false;
+    }
+
+    out->clear();
+    const size_t ncols = fields.size(); // == csvHeader().size()
+    for (size_t lineno = 2; lineno <= records.size(); ++lineno) {
+        const std::string &line = records[lineno - 1];
+        if (line.empty())
+            continue;
+        const auto bad = [&](const char *what) {
+            if (error) {
+                std::ostringstream oss;
+                oss << "CSV record " << lineno << ": " << what;
+                *error = oss.str();
+            }
+            return false;
+        };
+        if (!splitCsvRecord(line, &fields))
+            return bad("unterminated quote");
+        if (fields.size() != ncols)
+            return bad("wrong field count");
+        SweepResult r;
+        r.model = fields[0];
+        r.cluster = fields[1];
+        r.schedule = fields[2];
+        int64_t n = 0;
+        if (!parseInt64(fields[3], &r.batch))
+            return bad("bad batch");
+        if (!parseInt64(fields[4], &r.seqLen))
+            return bad("bad seq_len");
+        if (!parseInt64(fields[5], &n))
+            return bad("bad num_layers");
+        r.numLayers = static_cast<int>(n);
+        if (!parseInt64(fields[6], &n))
+            return bad("bad num_experts");
+        r.numExperts = static_cast<int>(n);
+        if (!parseInt64(fields[7], &n))
+            return bad("bad r_max");
+        r.rMax = static_cast<int>(n);
+        if (!parseDouble(fields[8], &r.makespanMs))
+            return bad("bad makespan_ms");
+        for (size_t op = 0; op < kNumOps; ++op) {
+            if (!parseDouble(fields[9 + op], &r.opTimeMs[op]))
+                return bad("bad op time");
+        }
+        out->push_back(std::move(r));
+    }
+    return true;
+}
+
+bool
+writeResultsJson(const std::string &path,
+                 const std::vector<SweepResult> &results)
+{
+    return writeTextFile(path, toJson(results));
+}
+
+bool
+writeResultsCsv(const std::string &path,
+                const std::vector<SweepResult> &results)
+{
+    return writeTextFile(path, toCsv(results));
+}
+
+bool
+readResults(const std::string &path, std::vector<SweepResult> *out,
+            std::string *error)
+{
+    std::string text;
+    if (!readTextFile(path, &text, error))
+        return false;
+    const bool csv =
+        path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+    return csv ? parseCsv(text, out, error) : parseJson(text, out, error);
+}
+
+// ------------------------------------------------------------- diffing
+
+std::vector<const DiffEntry *>
+DiffReport::exceeding(double tolerance_frac) const
+{
+    std::vector<const DiffEntry *> out;
+    for (const DiffEntry &e : matched) {
+        const double rel = e.relDelta();
+        if (rel > tolerance_frac || rel < -tolerance_frac)
+            out.push_back(&e);
+    }
+    return out;
+}
+
+bool
+DiffReport::passes(double tolerance_frac) const
+{
+    return onlyBaseline.empty() && onlyCurrent.empty() &&
+           duplicateKeys.empty() && exceeding(tolerance_frac).empty();
+}
+
+DiffReport
+diffResults(const std::vector<SweepResult> &baseline,
+            const std::vector<SweepResult> &current)
+{
+    DiffReport report;
+    std::unordered_map<std::string, const SweepResult *> current_by_key;
+    std::unordered_set<std::string> seen;
+    for (const SweepResult &r : current) {
+        if (!current_by_key.emplace(r.key(), &r).second)
+            report.duplicateKeys.push_back(r.key());
+    }
+    std::unordered_set<std::string> matched_keys;
+    for (const SweepResult &b : baseline) {
+        const std::string key = b.key();
+        if (!seen.insert(key).second) {
+            report.duplicateKeys.push_back(key);
+            continue;
+        }
+        auto it = current_by_key.find(key);
+        if (it == current_by_key.end()) {
+            report.onlyBaseline.push_back(key);
+            continue;
+        }
+        matched_keys.insert(key);
+        DiffEntry entry;
+        entry.key = key;
+        entry.baselineMs = b.makespanMs;
+        entry.currentMs = it->second->makespanMs;
+        report.matched.push_back(std::move(entry));
+    }
+    for (const SweepResult &c : current) {
+        if (matched_keys.count(c.key()) == 0 &&
+            current_by_key.at(c.key()) == &c)
+            report.onlyCurrent.push_back(c.key());
+    }
+    return report;
+}
+
+std::string
+formatDiff(const DiffReport &report, double tolerance_frac)
+{
+    std::ostringstream oss;
+    const auto over = report.exceeding(tolerance_frac);
+    for (const DiffEntry *e : over) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%+.4f ms (%+.3f%%)", e->deltaMs(),
+                      e->relDelta() * 100.0);
+        oss << "  DRIFT " << e->key << ": " << fmtDouble(e->baselineMs)
+            << " -> " << fmtDouble(e->currentMs) << "  " << buf << '\n';
+    }
+    for (const std::string &key : report.onlyBaseline)
+        oss << "  MISSING (in baseline only): " << key << '\n';
+    for (const std::string &key : report.onlyCurrent)
+        oss << "  EXTRA (in current only): " << key << '\n';
+    for (const std::string &key : report.duplicateKeys)
+        oss << "  DUPLICATE key: " << key << '\n';
+
+    char tol[32];
+    std::snprintf(tol, sizeof tol, "%.4g%%", tolerance_frac * 100.0);
+    if (report.passes(tolerance_frac)) {
+        oss << "PASS: " << report.matched.size()
+            << " scenarios within tolerance " << tol << '\n';
+    } else {
+        oss << "FAIL: " << over.size() << " of " << report.matched.size()
+            << " scenarios drifted beyond " << tol << "; "
+            << report.onlyBaseline.size() << " missing, "
+            << report.onlyCurrent.size() << " extra, "
+            << report.duplicateKeys.size() << " duplicate\n";
+    }
+    return oss.str();
+}
+
+// ------------------------------------------------------------- merging
+
+bool
+mergeResults(const std::vector<std::vector<SweepResult>> &shards,
+             std::vector<SweepResult> *out, std::string *error)
+{
+    out->clear();
+    size_t total = 0;
+    for (const auto &shard : shards)
+        total += shard.size();
+    out->reserve(total);
+    std::unordered_set<std::string> seen;
+    seen.reserve(total);
+    for (const auto &shard : shards) {
+        for (const SweepResult &r : shard) {
+            if (!seen.insert(r.key()).second) {
+                if (error)
+                    *error = "duplicate scenario across shards: " + r.key();
+                out->clear();
+                return false;
+            }
+            out->push_back(r);
+        }
+    }
+    return true;
+}
+
+} // namespace fsmoe::runtime

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Persistent sweep results: a durable, diffable record of what a
+ * scenario sweep measured, so evaluation artifacts survive the process
+ * and regressions stay visible across commits and machines.
+ *
+ * A SweepResult is the flat, serialisable projection of one
+ * ScenarioResult: the scenario's identity fields, its makespan, and
+ * the per-op-class busy-time breakdown. Results round-trip through
+ * JSON and CSV **bit-exactly** — doubles are printed with 17
+ * significant digits, which IEEE-754 binary64 guarantees to re-parse
+ * to the identical bit pattern — so a re-read file can be compared
+ * with memcmp-level strictness and a merged set of shard files is
+ * byte-identical to the unsharded file.
+ *
+ * Thread-safety: everything here is either a free function of its
+ * arguments or a plain value type; all functions are safe to call
+ * concurrently on distinct data. Determinism: writers emit no
+ * timestamps, hostnames, or map-ordered content — serialising the
+ * same results twice yields the same bytes.
+ */
+#ifndef FSMOE_RUNTIME_RESULT_STORE_H
+#define FSMOE_RUNTIME_RESULT_STORE_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/sweep_engine.h"
+#include "sim/task_graph.h"
+
+namespace fsmoe::runtime {
+
+/** One persisted scenario outcome (one JSON object / CSV row). */
+struct SweepResult
+{
+    // Scenario identity — mirrors runtime::Scenario, with the
+    // schedule stored by its canonical registry name so files remain
+    // readable without the enum.
+    std::string model;
+    std::string cluster;
+    std::string schedule;
+    int64_t batch = 1;
+    int64_t seqLen = 1024;
+    int numLayers = 0;
+    int numExperts = 0;
+    int rMax = 16;
+
+    // Outcome.
+    double makespanMs = 0.0;
+    /// Busy milliseconds per op class, indexed by sim::OpType.
+    std::array<double, static_cast<size_t>(sim::OpType::NumOpTypes)>
+        opTimeMs{};
+
+    /**
+     * Stable scenario key used to join result sets in diffResults():
+     * identical to Scenario::label() for the scenario that produced
+     * this record (e.g. "mixtral-7b/testbedA/FSMoE/b1/L1024").
+     */
+    std::string key() const;
+
+    /** Flatten an engine result into its persistent record. */
+    static SweepResult fromScenarioResult(const ScenarioResult &r);
+};
+
+/** Convert a whole sweep, preserving order. */
+std::vector<SweepResult>
+toSweepResults(const std::vector<ScenarioResult> &results);
+
+// ---------------------------------------------------------------------
+// Serialisation. toJson/toCsv are pure and deterministic; the write*
+// helpers wrap them with file IO and warn-and-return-false on failure.
+// Readers accept exactly what the writers emit (plus arbitrary
+// whitespace in JSON and unknown object fields, which are ignored for
+// forward compatibility); on malformed input they return false and
+// describe the problem in *error.
+// ---------------------------------------------------------------------
+
+std::string toJson(const std::vector<SweepResult> &results);
+std::string toCsv(const std::vector<SweepResult> &results);
+
+bool parseJson(const std::string &text, std::vector<SweepResult> *out,
+               std::string *error);
+bool parseCsv(const std::string &text, std::vector<SweepResult> *out,
+              std::string *error);
+
+bool writeResultsJson(const std::string &path,
+                      const std::vector<SweepResult> &results);
+bool writeResultsCsv(const std::string &path,
+                     const std::vector<SweepResult> &results);
+
+/**
+ * Read a result file, dispatching on its extension: ".csv" parses as
+ * CSV, anything else as JSON.
+ */
+bool readResults(const std::string &path, std::vector<SweepResult> *out,
+                 std::string *error);
+
+// ---------------------------------------------------------------------
+// Regression diffing.
+// ---------------------------------------------------------------------
+
+/** Per-scenario comparison of a baseline and a current makespan. */
+struct DiffEntry
+{
+    std::string key;
+    double baselineMs = 0.0;
+    double currentMs = 0.0;
+
+    double deltaMs() const { return currentMs - baselineMs; }
+    /// Relative drift; 0 for an exact match (incl. baseline 0 == 0).
+    double relDelta() const
+    {
+        if (currentMs == baselineMs)
+            return 0.0;
+        return baselineMs != 0.0 ? (currentMs - baselineMs) / baselineMs
+                                 : 1.0;
+    }
+};
+
+/**
+ * Join of two result sets by scenario key. Matched entries keep the
+ * baseline's order; unmatched keys land in onlyBaseline/onlyCurrent
+ * (also in input order). Duplicate keys within one set are flagged so
+ * a corrupted merge cannot silently pass a diff.
+ */
+struct DiffReport
+{
+    std::vector<DiffEntry> matched;
+    std::vector<std::string> onlyBaseline; ///< In baseline, not current.
+    std::vector<std::string> onlyCurrent;  ///< In current, not baseline.
+    std::vector<std::string> duplicateKeys;
+
+    /** Entries whose |relDelta()| exceeds @p tolerance_frac. */
+    std::vector<const DiffEntry *> exceeding(double tolerance_frac) const;
+
+    /**
+     * The gate: true iff the scenario sets are identical (no missing,
+     * no extra, no duplicate keys) and every matched makespan drifted
+     * by at most @p tolerance_frac relative to the baseline. Faster
+     * results beyond tolerance also fail — any drift means the
+     * baseline no longer describes the code and must be regenerated
+     * deliberately.
+     */
+    bool passes(double tolerance_frac) const;
+};
+
+DiffReport diffResults(const std::vector<SweepResult> &baseline,
+                       const std::vector<SweepResult> &current);
+
+/**
+ * Human-readable report: per-scenario deltas over tolerance, missing
+ * and extra scenarios, and a PASS/FAIL summary line.
+ */
+std::string formatDiff(const DiffReport &report, double tolerance_frac);
+
+// ---------------------------------------------------------------------
+// Shard merging.
+// ---------------------------------------------------------------------
+
+/**
+ * Concatenate shard result sets in the given order, verifying that no
+ * scenario key appears twice. Because shardScenarios() slices the
+ * grid into contiguous index ranges, merging the shards of one grid
+ * in shard order reproduces the unsharded sweep exactly — including
+ * its serialised bytes. Returns false (and sets *error) on duplicate
+ * keys.
+ */
+bool mergeResults(const std::vector<std::vector<SweepResult>> &shards,
+                  std::vector<SweepResult> *out, std::string *error);
+
+} // namespace fsmoe::runtime
+
+#endif // FSMOE_RUNTIME_RESULT_STORE_H

@@ -1,5 +1,6 @@
 #include "runtime/scenario.h"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "base/logging.h"
@@ -228,6 +229,44 @@ ScenarioGrid::build() const
         }
     }
     return out;
+}
+
+bool
+parseShardSpec(const std::string &text, ShardSpec *spec)
+{
+    const size_t slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size())
+        return false;
+    char *end = nullptr;
+    const long k = std::strtol(text.c_str(), &end, 10);
+    if (end != text.c_str() + slash)
+        return false;
+    const long n = std::strtol(text.c_str() + slash + 1, &end, 10);
+    if (end != text.c_str() + text.size())
+        return false;
+    if (k < 1 || n < 1 || k > n)
+        return false;
+    spec->index = static_cast<int>(k);
+    spec->count = static_cast<int>(n);
+    return true;
+}
+
+std::vector<Scenario>
+shardScenarios(const std::vector<Scenario> &scenarios,
+               const ShardSpec &shard)
+{
+    FSMOE_CHECK_ARG(shard.count >= 1 && shard.index >= 1 &&
+                        shard.index <= shard.count,
+                    "shard ", shard.index, "/", shard.count,
+                    " out of range");
+    const size_t size = scenarios.size();
+    const size_t n = static_cast<size_t>(shard.count);
+    const size_t k = static_cast<size_t>(shard.index);
+    const size_t begin = size * (k - 1) / n;
+    const size_t end = size * k / n;
+    return std::vector<Scenario>(scenarios.begin() + begin,
+                                 scenarios.begin() + end);
 }
 
 } // namespace fsmoe::runtime

@@ -8,6 +8,18 @@
  * through a ScenarioRegistry so new models and testbeds can be plugged
  * in without touching the engine, and ScenarioGrid enumerates
  * cartesian-product sweeps in a deterministic order.
+ *
+ * Thread-safety: ScenarioRegistry is fully thread-safe (every method
+ * takes its internal lock; builders run outside the lock, so they may
+ * themselves call back into the registry). Scenario and ScenarioGrid
+ * are plain value types with no internal synchronisation — share them
+ * across threads only as read-only data.
+ *
+ * Determinism: ScenarioGrid::build() depends only on the configured
+ * axes (nested-loop order, no hashing), so the same grid builds the
+ * same scenario list in the same order in every process, which is
+ * what makes persisted sweep results diffable across machines and
+ * shardScenarios() slices stable.
  */
 #ifndef FSMOE_RUNTIME_SCENARIO_H
 #define FSMOE_RUNTIME_SCENARIO_H
@@ -120,6 +132,34 @@ class ScenarioGrid
     std::vector<int> num_layers_ = {0};
     int r_max_ = 16;
 };
+
+/**
+ * One process's share of a sweep: shard @p index of @p count
+ * (1-based, "K/N" on the CLI).
+ */
+struct ShardSpec
+{
+    int index = 1; ///< Which shard this process runs, in [1, count].
+    int count = 1; ///< Total number of shards.
+};
+
+/**
+ * Parse "K/N" (e.g. "2/4") into a ShardSpec. Returns false unless
+ * both are integers with 1 <= K <= N.
+ */
+bool parseShardSpec(const std::string &text, ShardSpec *spec);
+
+/**
+ * The contiguous slice of @p scenarios belonging to @p shard:
+ * [size*(K-1)/N, size*K/N). Deterministic, order-preserving, and a
+ * partition — for a fixed input and N, the K slices are pairwise
+ * disjoint and concatenating them in K order reproduces the input
+ * exactly, which is what lets persisted shard results be merged into
+ * a byte-identical unsharded sweep (see result_store.h). Fatal if
+ * the spec is out of range.
+ */
+std::vector<Scenario> shardScenarios(const std::vector<Scenario> &scenarios,
+                                     const ShardSpec &shard);
 
 } // namespace fsmoe::runtime
 

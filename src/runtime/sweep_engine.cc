@@ -23,6 +23,13 @@ SweepEngine::clearCostCache()
     cost_cache_.clear();
 }
 
+void
+SweepEngine::clearSimCache()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    sim_cache_.clear();
+}
+
 std::shared_ptr<const core::ModelCost>
 SweepEngine::costFor(const Scenario &s)
 {
@@ -60,6 +67,45 @@ SweepEngine::costFor(const Scenario &s)
     }
 }
 
+std::shared_ptr<const sim::SimResult>
+SweepEngine::simFor(const Scenario &s,
+                    const std::shared_ptr<const core::ModelCost> &cost)
+{
+    // costKey() never contains the schedule, so appending it yields a
+    // unique (configuration, schedule) key.
+    const std::string key =
+        s.costKey() + '|' + core::scheduleName(s.schedule);
+    std::promise<std::shared_ptr<const sim::SimResult>> promise;
+    std::shared_future<std::shared_ptr<const sim::SimResult>> hit;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = sim_cache_.find(key);
+        if (it != sim_cache_.end()) {
+            ++stats_.simCacheHits;
+            hit = it->second;
+        } else {
+            ++stats_.simCacheMisses;
+            sim_cache_.emplace(key, promise.get_future().share());
+        }
+    }
+    if (hit.valid())
+        return hit.get(); // may wait on the in-flight computing worker
+    try {
+        auto schedule = core::Schedule::create(s.schedule);
+        auto result = std::make_shared<const sim::SimResult>(
+            schedule->simulate(*cost));
+        promise.set_value(result);
+        return result;
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            sim_cache_.erase(key);
+        }
+        throw;
+    }
+}
+
 std::vector<ScenarioResult>
 SweepEngine::run(const std::vector<Scenario> &scenarios)
 {
@@ -74,12 +120,17 @@ SweepEngine::run(const std::vector<Scenario> &scenarios)
             done.push_back(pool.submit([this, &scenarios, &results, i]() {
                 const Scenario &s = scenarios[i];
                 auto cost = costFor(s);
-                auto schedule = core::Schedule::create(s.schedule);
                 ScenarioResult &out = results[i];
                 out.scenario = s;
                 if (options_.keepGraphs) {
+                    // Graphs are not cached; simulate directly so the
+                    // retained graph matches the returned timings.
+                    auto schedule = core::Schedule::create(s.schedule);
                     out.sim = schedule->simulate(*cost, &out.graph);
+                } else if (options_.enableSimCache) {
+                    out.sim = *simFor(s, cost);
                 } else {
+                    auto schedule = core::Schedule::create(s.schedule);
                     out.sim = schedule->simulate(*cost);
                 }
                 out.makespanMs = out.sim.makespan;

@@ -1,15 +1,28 @@
 /**
  * @file
  * The scenario-sweep engine: fans Scenario evaluations across a
- * ThreadPool, memoizing ModelCost derivations so schedules that share
- * a (model, cluster, knobs) configuration price the workload once.
+ * ThreadPool, memoizing both stages of an evaluation —
+ *
+ *   1. ModelCost derivation, keyed by Scenario::costKey() (every
+ *      field except the schedule), so the six schedules of one
+ *      configuration price the workload once; and
+ *   2. full SimResults, keyed by (costKey, schedule), so repeated
+ *      sweeps — warm re-runs, overlapping grids, regression
+ *      baselines — skip graph construction and simulation entirely.
  *
  * Determinism contract: the simulator itself is single-threaded and
  * deterministic, and the engine parallelises only *across* scenarios —
  * each scenario's graph is built and simulated by exactly one worker,
  * and results land in input order. A sweep on N threads is therefore
- * byte-identical to the same sweep on 1 thread (runtime_test asserts
- * this).
+ * byte-identical to the same sweep on 1 thread, cached results are
+ * byte-identical to recomputed ones (runtime_test asserts both), and
+ * cache hit/miss counts depend only on the scenario list, never on
+ * thread timing (see costFor()).
+ *
+ * Thread-safety: run() must not be called concurrently from multiple
+ * threads on one engine (results are keyed by input index); stats(),
+ * clearCostCache() and clearSimCache() may be called from any thread
+ * at any time. Both caches persist across run() calls until cleared.
  */
 #ifndef FSMOE_RUNTIME_SWEEP_ENGINE_H
 #define FSMOE_RUNTIME_SWEEP_ENGINE_H
@@ -36,8 +49,13 @@ struct SweepOptions
     /// Bounded work-queue depth (backpressure for huge grids).
     size_t queueCapacity = 256;
     /// Also retain each scenario's TaskGraph (needed for Chrome-trace
-    /// export; costs memory proportional to grid size).
+    /// export; costs memory proportional to grid size). Graphs are
+    /// never cached, so this bypasses the SimResult cache: every
+    /// scenario simulates, and sim hit/miss counters do not move.
     bool keepGraphs = false;
+    /// Memoize SimResults by (costKey, schedule). Disable to force
+    /// re-simulation (e.g. when benchmarking the simulator itself).
+    bool enableSimCache = true;
 };
 
 /** Outcome of one scenario. */
@@ -49,12 +67,14 @@ struct ScenarioResult
     sim::TaskGraph graph; ///< Populated only with keepGraphs.
 };
 
-/** Counters of one engine lifetime (cache persists across run calls). */
+/** Counters of one engine lifetime (caches persist across run calls). */
 struct SweepStats
 {
     size_t scenariosRun = 0;
     size_t costCacheHits = 0;
     size_t costCacheMisses = 0;
+    size_t simCacheHits = 0;
+    size_t simCacheMisses = 0;
     double lastSweepWallMs = 0.0;
 };
 
@@ -65,7 +85,7 @@ class SweepEngine
 
     /**
      * Evaluate every scenario and return results in input order.
-     * Reentrant with respect to the cost cache; not safe to call
+     * Reentrant with respect to both caches; not safe to call
      * concurrently from multiple threads.
      */
     std::vector<ScenarioResult> run(const std::vector<Scenario> &scenarios);
@@ -76,6 +96,9 @@ class SweepEngine
     /** Drop every memoized ModelCost. */
     void clearCostCache();
 
+    /** Drop every memoized SimResult. */
+    void clearSimCache();
+
   private:
     /**
      * Memoized ModelCost lookup. The first caller of a key inserts an
@@ -85,12 +108,24 @@ class SweepEngine
      */
     std::shared_ptr<const core::ModelCost> costFor(const Scenario &s);
 
+    /**
+     * Memoized simulation keyed by (costKey, schedule), same
+     * in-flight-future protocol as costFor(). @p cost must be the
+     * scenario's own ModelCost (used on a miss).
+     */
+    std::shared_ptr<const sim::SimResult>
+    simFor(const Scenario &s, const std::shared_ptr<const core::ModelCost> &cost);
+
     SweepOptions options_;
     mutable std::mutex mu_;
     std::unordered_map<std::string,
                        std::shared_future<
                            std::shared_ptr<const core::ModelCost>>>
         cost_cache_;
+    std::unordered_map<std::string,
+                       std::shared_future<
+                           std::shared_ptr<const sim::SimResult>>>
+        sim_cache_;
     SweepStats stats_;
 };
 

@@ -8,6 +8,19 @@
  * scenario grid cannot outrun the workers and exhaust memory. Tasks
  * are executed in FIFO order; results and exceptions propagate through
  * the returned std::future.
+ *
+ * Thread-safety: submit() and submitted() may be called concurrently
+ * from any number of producer threads; tasks themselves run on the
+ * pool's workers and must do their own synchronisation for shared
+ * state. The destructor must not run concurrently with submit(), and
+ * a task must not submit() to its own pool once destruction has begun
+ * (it would race the drain).
+ *
+ * Determinism: tasks *start* in submission order, but with more than
+ * one worker their completion order — and any cross-task timing — is
+ * scheduler-dependent. Deterministic users (the SweepEngine) get
+ * reproducibility by giving each task an independent slot to write
+ * to, never by relying on execution order.
  */
 #ifndef FSMOE_RUNTIME_THREAD_POOL_H
 #define FSMOE_RUNTIME_THREAD_POOL_H

@@ -5,6 +5,15 @@
  * importer), one timeline row per stream. Times are emitted in
  * microseconds as the format requires; displayTimeUnit keeps the UI in
  * milliseconds to match the simulator's native unit.
+ *
+ * Thread-safety: both functions are pure functions of their arguments
+ * (writeChromeTrace additionally touches only its target file) and
+ * may be called concurrently on distinct data.
+ *
+ * Determinism: the emitted JSON depends only on (graph, result,
+ * process_name) — events are ordered by the simulator's deterministic
+ * trace order and numbers are formatted with fixed precision, so the
+ * same simulation always exports the same bytes.
  */
 #ifndef FSMOE_RUNTIME_TRACE_EXPORT_H
 #define FSMOE_RUNTIME_TRACE_EXPORT_H

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Tests for the persistent result store: bit-exact JSON/CSV
+ * round-trips, regression-diff gating, shard partitioning, and shard
+ * merging back into the unsharded sweep.
+ */
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/result_store.h"
+#include "runtime/scenario.h"
+#include "runtime/sweep_engine.h"
+
+namespace fsmoe::runtime {
+namespace {
+
+/** A small real sweep (2 configurations x 6 schedules, 2 layers). */
+std::vector<SweepResult>
+sweptResults()
+{
+    const auto grid = ScenarioGrid()
+                          .models({"gpt2xl-moe"})
+                          .clusters({"testbedA", "testbedB"})
+                          .numLayers({2})
+                          .build();
+    SweepEngine engine({/*numThreads=*/2});
+    return toSweepResults(engine.run(grid));
+}
+
+void
+expectBitEqual(const std::vector<SweepResult> &a,
+               const std::vector<SweepResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].model, b[i].model);
+        EXPECT_EQ(a[i].cluster, b[i].cluster);
+        EXPECT_EQ(a[i].schedule, b[i].schedule);
+        EXPECT_EQ(a[i].batch, b[i].batch);
+        EXPECT_EQ(a[i].seqLen, b[i].seqLen);
+        EXPECT_EQ(a[i].numLayers, b[i].numLayers);
+        EXPECT_EQ(a[i].numExperts, b[i].numExperts);
+        EXPECT_EQ(a[i].rMax, b[i].rMax);
+        // memcmp: bit-identical doubles, not approximately equal.
+        EXPECT_EQ(std::memcmp(&a[i].makespanMs, &b[i].makespanMs,
+                              sizeof(double)),
+                  0)
+            << a[i].key();
+        EXPECT_EQ(std::memcmp(a[i].opTimeMs.data(), b[i].opTimeMs.data(),
+                              sizeof(double) * a[i].opTimeMs.size()),
+                  0)
+            << a[i].key();
+    }
+}
+
+// --------------------------------------------------------- round-trip
+
+TEST(ResultStore, KeyMatchesScenarioLabel)
+{
+    const auto grid = ScenarioGrid()
+                          .models({"gpt2xl-moe"})
+                          .clusters({"testbedB"})
+                          .numLayers({1})
+                          .build();
+    SweepEngine engine({/*numThreads=*/1});
+    const auto results = engine.run(grid);
+    for (const auto &r : results)
+        EXPECT_EQ(SweepResult::fromScenarioResult(r).key(),
+                  r.scenario.label());
+}
+
+TEST(ResultStore, JsonRoundTripIsBitExact)
+{
+    const auto records = sweptResults();
+    std::vector<SweepResult> reread;
+    std::string error;
+    ASSERT_TRUE(parseJson(toJson(records), &reread, &error)) << error;
+    expectBitEqual(records, reread);
+    // Writer determinism: serialising twice yields the same bytes.
+    EXPECT_EQ(toJson(records), toJson(reread));
+}
+
+TEST(ResultStore, CsvRoundTripIsBitExact)
+{
+    const auto records = sweptResults();
+    std::vector<SweepResult> reread;
+    std::string error;
+    ASSERT_TRUE(parseCsv(toCsv(records), &reread, &error)) << error;
+    expectBitEqual(records, reread);
+    EXPECT_EQ(toCsv(records), toCsv(reread));
+}
+
+TEST(ResultStore, AwkwardValuesAndNamesSurviveBothFormats)
+{
+    SweepResult r;
+    r.model = "model,with \"quotes\"\nand newline";
+    r.cluster = "back\\slash";
+    r.schedule = "FSMoE";
+    r.batch = 7;
+    r.seqLen = 4096;
+    r.numLayers = 3;
+    r.numExperts = 9;
+    r.rMax = 8;
+    r.makespanMs = 1.0 / 3.0;
+    r.opTimeMs[0] = 1e-300;         // subnormal-adjacent tiny value
+    r.opTimeMs[1] = 12345.678901234567;
+    r.opTimeMs[2] = -0.0;
+    const std::vector<SweepResult> records = {r};
+
+    std::vector<SweepResult> reread;
+    std::string error;
+    ASSERT_TRUE(parseJson(toJson(records), &reread, &error)) << error;
+    expectBitEqual(records, reread);
+    ASSERT_TRUE(parseCsv(toCsv(records), &reread, &error)) << error;
+    expectBitEqual(records, reread);
+}
+
+TEST(ResultStore, FileRoundTripThroughBothExtensions)
+{
+    const auto records = sweptResults();
+    const std::string json_path =
+        testing::TempDir() + "/fsmoe_results.json";
+    const std::string csv_path = testing::TempDir() + "/fsmoe_results.csv";
+    ASSERT_TRUE(writeResultsJson(json_path, records));
+    ASSERT_TRUE(writeResultsCsv(csv_path, records));
+
+    std::vector<SweepResult> from_json, from_csv;
+    std::string error;
+    ASSERT_TRUE(readResults(json_path, &from_json, &error)) << error;
+    ASSERT_TRUE(readResults(csv_path, &from_csv, &error)) << error;
+    expectBitEqual(records, from_json);
+    expectBitEqual(records, from_csv);
+
+    std::remove(json_path.c_str());
+    std::remove(csv_path.c_str());
+}
+
+TEST(ResultStore, ReadersRejectMalformedInput)
+{
+    std::vector<SweepResult> out;
+    std::string error;
+    EXPECT_FALSE(parseJson("", &out, &error));
+    EXPECT_FALSE(parseJson("[1,2,3]", &out, &error));
+    EXPECT_FALSE(parseJson("{\"schema\":\"other\",\"results\":[]}", &out,
+                           &error));
+    EXPECT_FALSE(
+        parseJson("{\"schema\":\"fsmoe-sweep-results\",\"version\":1,"
+                  "\"results\":[{\"model\":\"m\"}]}",
+                  &out, &error));
+    EXPECT_FALSE(parseCsv("", &out, &error));
+    EXPECT_FALSE(parseCsv("not,the,header\n", &out, &error));
+    EXPECT_FALSE(readResults("/no/such/file.json", &out, &error));
+
+    // Pathological nesting must fail the parse, not overflow the stack.
+    EXPECT_FALSE(parseJson(std::string(200000, '['), &out, &error));
+
+    // The empty result set is valid in both formats.
+    EXPECT_TRUE(parseJson(toJson({}), &out, &error)) << error;
+    EXPECT_TRUE(out.empty());
+    EXPECT_TRUE(parseCsv(toCsv({}), &out, &error)) << error;
+    EXPECT_TRUE(out.empty());
+}
+
+// ------------------------------------------------------------ diffing
+
+TEST(ResultStore, SelfDiffPassesWithZeroDeltas)
+{
+    const auto records = sweptResults();
+    const DiffReport report = diffResults(records, records);
+    EXPECT_EQ(report.matched.size(), records.size());
+    EXPECT_TRUE(report.onlyBaseline.empty());
+    EXPECT_TRUE(report.onlyCurrent.empty());
+    EXPECT_TRUE(report.duplicateKeys.empty());
+    for (const DiffEntry &e : report.matched) {
+        EXPECT_EQ(e.deltaMs(), 0.0);
+        EXPECT_EQ(e.relDelta(), 0.0);
+    }
+    EXPECT_TRUE(report.passes(0.0));
+    EXPECT_NE(formatDiff(report, 0.0).find("PASS"), std::string::npos);
+}
+
+TEST(ResultStore, DiffGatesOnDriftAndRespectsTolerance)
+{
+    const auto baseline = sweptResults();
+    auto current = baseline;
+    current[3].makespanMs *= 1.001; // +0.1 % regression
+
+    const DiffReport report = diffResults(baseline, current);
+    EXPECT_FALSE(report.passes(0.0));
+    ASSERT_EQ(report.exceeding(0.0).size(), 1u);
+    EXPECT_EQ(report.exceeding(0.0)[0]->key, baseline[3].key());
+    EXPECT_NEAR(report.exceeding(0.0)[0]->relDelta(), 0.001, 1e-12);
+    // Within a 0.5 % budget the drift is tolerated...
+    EXPECT_TRUE(report.passes(0.005));
+    // ...but not within 0.05 %.
+    EXPECT_FALSE(report.passes(0.0005));
+    EXPECT_NE(formatDiff(report, 0.0).find("FAIL"), std::string::npos);
+
+    // Improvements beyond tolerance fail too: a stale baseline is a
+    // stale baseline in either direction.
+    current = baseline;
+    current[3].makespanMs *= 0.9;
+    EXPECT_FALSE(diffResults(baseline, current).passes(0.01));
+}
+
+TEST(ResultStore, DiffFlagsMissingExtraAndDuplicateScenarios)
+{
+    const auto baseline = sweptResults();
+    auto current = baseline;
+    const std::string dropped = current.back().key();
+    current.pop_back();
+    SweepResult extra = current.front();
+    extra.model = "some-other-model";
+    current.push_back(extra);
+
+    const DiffReport report = diffResults(baseline, current);
+    ASSERT_EQ(report.onlyBaseline.size(), 1u);
+    EXPECT_EQ(report.onlyBaseline[0], dropped);
+    ASSERT_EQ(report.onlyCurrent.size(), 1u);
+    EXPECT_EQ(report.onlyCurrent[0], extra.key());
+    EXPECT_FALSE(report.passes(1.0)); // no tolerance forgives a set diff
+
+    auto dup = baseline;
+    dup.push_back(dup.front());
+    EXPECT_FALSE(diffResults(baseline, dup).passes(1.0));
+    EXPECT_EQ(diffResults(baseline, dup).duplicateKeys.size(), 1u);
+}
+
+// ----------------------------------------------------------- sharding
+
+TEST(ResultStore, ShardsPartitionTheGridDisjointlyInOrder)
+{
+    const auto grid = ScenarioGrid()
+                          .models({"gpt2xl-moe", "mixtral-7b"})
+                          .clusters({"testbedA", "testbedB"})
+                          .batches({1, 2})
+                          .build();
+    ASSERT_EQ(grid.size(), 48u);
+
+    for (int n = 1; n <= 5; ++n) {
+        std::vector<std::string> merged_labels;
+        std::set<std::string> seen;
+        for (int k = 1; k <= n; ++k) {
+            const auto part = shardScenarios(grid, {k, n});
+            for (const Scenario &s : part) {
+                EXPECT_TRUE(seen.insert(s.label()).second)
+                    << "duplicate across shards: " << s.label();
+                merged_labels.push_back(s.label());
+            }
+        }
+        // Union == full grid, in the original order.
+        ASSERT_EQ(merged_labels.size(), grid.size()) << "n=" << n;
+        for (size_t i = 0; i < grid.size(); ++i)
+            EXPECT_EQ(merged_labels[i], grid[i].label()) << "n=" << n;
+    }
+
+    // More shards than scenarios: every scenario still lands exactly
+    // once, the surplus shards are empty.
+    const auto tiny = ScenarioGrid().numLayers({1}).build();
+    size_t total = 0;
+    for (int k = 1; k <= 50; ++k)
+        total += shardScenarios(tiny, {k, 50}).size();
+    EXPECT_EQ(total, tiny.size());
+}
+
+TEST(ResultStore, ParseShardSpecAcceptsOnlyValidRanges)
+{
+    ShardSpec spec;
+    ASSERT_TRUE(parseShardSpec("1/1", &spec));
+    EXPECT_EQ(spec.index, 1);
+    EXPECT_EQ(spec.count, 1);
+    ASSERT_TRUE(parseShardSpec("3/8", &spec));
+    EXPECT_EQ(spec.index, 3);
+    EXPECT_EQ(spec.count, 8);
+    EXPECT_FALSE(parseShardSpec("", &spec));
+    EXPECT_FALSE(parseShardSpec("2", &spec));
+    EXPECT_FALSE(parseShardSpec("2/", &spec));
+    EXPECT_FALSE(parseShardSpec("/2", &spec));
+    EXPECT_FALSE(parseShardSpec("0/2", &spec));
+    EXPECT_FALSE(parseShardSpec("3/2", &spec));
+    EXPECT_FALSE(parseShardSpec("a/b", &spec));
+    EXPECT_FALSE(parseShardSpec("1/2/3", &spec));
+}
+
+TEST(ResultStore, MergedShardSweepsAreBitIdenticalToUnsharded)
+{
+    const auto grid = ScenarioGrid()
+                          .models({"gpt2xl-moe"})
+                          .clusters({"testbedA", "testbedB"})
+                          .numLayers({2})
+                          .build();
+
+    SweepEngine full_engine({/*numThreads=*/2});
+    const auto full = toSweepResults(full_engine.run(grid));
+
+    // Each shard runs in its own engine, as separate processes would.
+    std::vector<std::vector<SweepResult>> shards;
+    for (int k = 1; k <= 3; ++k) {
+        SweepEngine shard_engine({/*numThreads=*/2});
+        shards.push_back(toSweepResults(
+            shard_engine.run(shardScenarios(grid, {k, 3}))));
+    }
+
+    std::vector<SweepResult> merged;
+    std::string error;
+    ASSERT_TRUE(mergeResults(shards, &merged, &error)) << error;
+    expectBitEqual(full, merged);
+    // The acceptance bar: the merged *serialised artifact* is
+    // byte-identical to the unsharded one.
+    EXPECT_EQ(toJson(full), toJson(merged));
+    EXPECT_EQ(toCsv(full), toCsv(merged));
+}
+
+TEST(ResultStore, MergeRejectsOverlappingShards)
+{
+    const auto records = sweptResults();
+    std::vector<SweepResult> merged;
+    std::string error;
+    ASSERT_TRUE(mergeResults({records, {}}, &merged, &error)) << error;
+    EXPECT_EQ(merged.size(), records.size());
+    EXPECT_FALSE(mergeResults({records, records}, &merged, &error));
+    EXPECT_NE(error.find("duplicate"), std::string::npos);
+    EXPECT_TRUE(merged.empty());
+}
+
+} // namespace
+} // namespace fsmoe::runtime

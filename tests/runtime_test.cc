@@ -200,6 +200,86 @@ TEST(SweepEngine, CostCacheCountsHitsPerSharedConfiguration)
     EXPECT_EQ(stats.costCacheMisses, 2 * unique_keys.size());
 }
 
+TEST(SweepEngine, SimCacheCountsHitsOnRepeatedScenarios)
+{
+    const auto grid = testGrid();
+    SweepEngine engine({/*numThreads=*/4});
+
+    // A cold sweep of all-distinct scenarios: every simulation misses.
+    engine.run(grid);
+    SweepStats stats = engine.stats();
+    EXPECT_EQ(stats.simCacheMisses, grid.size());
+    EXPECT_EQ(stats.simCacheHits, 0u);
+
+    // The same grid again on the warm engine: every simulation hits.
+    engine.run(grid);
+    stats = engine.stats();
+    EXPECT_EQ(stats.simCacheMisses, grid.size());
+    EXPECT_EQ(stats.simCacheHits, grid.size());
+
+    // A grid that repeats (model, testbed, schedule) combinations
+    // within one run: the duplicates hit even concurrently.
+    engine.clearSimCache();
+    engine.clearCostCache();
+    std::vector<Scenario> repeated = grid;
+    repeated.insert(repeated.end(), grid.begin(), grid.end());
+    engine.run(repeated);
+    stats = engine.stats();
+    EXPECT_EQ(stats.simCacheMisses, 2 * grid.size());
+    EXPECT_EQ(stats.simCacheHits, 2 * grid.size());
+}
+
+TEST(SweepEngine, CachedSimResultsAreBitIdenticalToRecomputed)
+{
+    const auto grid = testGrid();
+    SweepEngine cached({/*numThreads=*/2});
+    SweepOptions no_cache_opts;
+    no_cache_opts.numThreads = 2;
+    no_cache_opts.enableSimCache = false;
+    SweepEngine uncached(no_cache_opts);
+
+    cached.run(grid);                      // warm the cache
+    const auto warm = cached.run(grid);    // served from the cache
+    const auto fresh = uncached.run(grid); // simulated every time
+
+    EXPECT_EQ(uncached.stats().simCacheMisses, 0u);
+    EXPECT_EQ(uncached.stats().simCacheHits, 0u);
+    ASSERT_EQ(warm.size(), fresh.size());
+    for (size_t i = 0; i < warm.size(); ++i) {
+        EXPECT_EQ(std::memcmp(&warm[i].makespanMs, &fresh[i].makespanMs,
+                              sizeof(double)),
+                  0)
+            << grid[i].label();
+        ASSERT_EQ(warm[i].sim.trace.size(), fresh[i].sim.trace.size());
+        for (size_t t = 0; t < warm[i].sim.trace.size(); ++t) {
+            EXPECT_EQ(std::memcmp(&warm[i].sim.trace[t].start,
+                                  &fresh[i].sim.trace[t].start,
+                                  sizeof(double)),
+                      0);
+            EXPECT_EQ(std::memcmp(&warm[i].sim.trace[t].finish,
+                                  &fresh[i].sim.trace[t].finish,
+                                  sizeof(double)),
+                      0);
+        }
+    }
+}
+
+TEST(SweepEngine, KeepGraphsBypassesTheSimCache)
+{
+    const auto grid = testGrid();
+    SweepOptions opts;
+    opts.numThreads = 2;
+    opts.keepGraphs = true;
+    SweepEngine engine(opts);
+    engine.run(grid);
+    engine.run(grid);
+    const SweepStats stats = engine.stats();
+    // Graphs must match the returned timings, so nothing is cached —
+    // and the counters must not pretend otherwise.
+    EXPECT_EQ(stats.simCacheMisses, 0u);
+    EXPECT_EQ(stats.simCacheHits, 0u);
+}
+
 // ----------------------------------------------------------- traces
 
 /**
