@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "core/schedules/schedule.h"
+#include "core/schedules/schedule_registry.h"
 #include "runtime/scenario.h"
 #include "runtime/sweep_engine.h"
 
@@ -29,11 +29,12 @@ makeCase(const std::string &model, const std::string &cluster,
          int64_t seq_len, int num_layers = 0)
 {
     std::vector<runtime::Scenario> out;
-    for (core::ScheduleKind kind : core::allScheduleKinds()) {
+    for (const std::string &name :
+         core::ScheduleRegistry::instance().names()) {
         runtime::Scenario s;
         s.model = model;
         s.cluster = cluster;
-        s.schedule = kind;
+        s.schedule = name;
         s.batch = 1;
         s.seqLen = seq_len;
         s.numLayers = num_layers;
@@ -68,8 +69,8 @@ main()
     const auto results = engine.run(grid);
 
     // Scenarios arrive in case-major order, DS-MoE first within each
-    // case (allScheduleKinds order).
-    const size_t per_case = core::allScheduleKinds().size();
+    // case (schedule-registry registration order).
+    const size_t per_case = core::ScheduleRegistry::instance().names().size();
     for (size_t base = 0; base < results.size(); base += per_case) {
         const auto &ds = results[base];
         runtime::ScenarioRegistry &reg = runtime::ScenarioRegistry::instance();

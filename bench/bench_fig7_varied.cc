@@ -22,14 +22,11 @@ runRow(const char *label, const sim::ClusterSpec &cluster, int64_t seq_len)
         model::mixtral7B(cluster.numNodes, 1, seq_len, 16);
     core::ModelCost cost = model::makeModelCost(
         spec, cluster, model::paperParallelism(cluster));
-    double ds = core::Schedule::create(core::ScheduleKind::DsMoeSequential)
-                    ->iterationTimeMs(cost);
+    double ds = core::Schedule::create("ds-moe")->iterationTimeMs(cost);
     std::printf("%-22s %9.1f", label, ds);
-    for (core::ScheduleKind kind :
-         {core::ScheduleKind::Tutel, core::ScheduleKind::TutelImproved,
-          core::ScheduleKind::PipeMoeLina, core::ScheduleKind::FsMoeNoIio,
-          core::ScheduleKind::FsMoe}) {
-        double t = core::Schedule::create(kind)->iterationTimeMs(cost);
+    for (const char *spec :
+         {"tutel", "tutel-improved", "lina", "no-iio", "fsmoe"}) {
+        double t = core::Schedule::create(spec)->iterationTimeMs(cost);
         std::printf(" %7.2fx", ds / t);
     }
     std::printf("\n");

@@ -18,15 +18,13 @@ void
 runCase(const model::ModelSpec &spec, const sim::ClusterSpec &cluster,
         int micro_batches)
 {
-    auto ds = core::Schedule::create(core::ScheduleKind::DsMoeSequential);
+    auto ds = core::Schedule::create("ds-moe");
     model::GpipeResult base =
         model::gpipeIteration(*ds, spec, cluster, 2, micro_batches);
     std::printf("%-14s %9.1f", spec.name.c_str(), base.iterationMs);
-    for (core::ScheduleKind kind :
-         {core::ScheduleKind::Tutel, core::ScheduleKind::TutelImproved,
-          core::ScheduleKind::PipeMoeLina, core::ScheduleKind::FsMoeNoIio,
-          core::ScheduleKind::FsMoe}) {
-        auto sched = core::Schedule::create(kind);
+    for (const char *sched_spec :
+         {"tutel", "tutel-improved", "lina", "no-iio", "fsmoe"}) {
+        auto sched = core::Schedule::create(sched_spec);
         model::GpipeResult r =
             model::gpipeIteration(*sched, spec, cluster, 2, micro_batches);
         std::printf(" %7.2fx", base.iterationMs / r.iterationMs);

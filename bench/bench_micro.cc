@@ -81,7 +81,7 @@ BM_ScheduleFsMoe(benchmark::State &state)
     model::ModelSpec spec = model::mixtral7B(cluster.numNodes, 1, 256, 7);
     core::ModelCost cost = model::makeModelCost(
         spec, cluster, model::paperParallelism(cluster));
-    auto sched = core::Schedule::create(core::ScheduleKind::FsMoe);
+    auto sched = core::Schedule::create("fsmoe");
     for (auto _ : state)
         benchmark::DoNotOptimize(sched->iterationTimeMs(cost));
 }
@@ -95,7 +95,7 @@ BM_Simulator(benchmark::State &state)
     core::ModelCost cost = model::makeModelCost(
         spec, cluster, model::paperParallelism(cluster));
     sim::TaskGraph graph =
-        core::Schedule::create(core::ScheduleKind::Tutel)->build(cost);
+        core::Schedule::create("tutel")->build(cost);
     sim::Simulator simulator;
     for (auto _ : state)
         benchmark::DoNotOptimize(simulator.run(graph));

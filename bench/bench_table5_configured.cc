@@ -24,12 +24,9 @@ runTestbed(const sim::ClusterSpec &cluster, bool testbed_b)
     core::ParallelConfig par = model::paperParallelism(cluster);
     core::PerfModelSet models = core::PerfModelSet::fromCluster(cluster);
 
-    const core::ScheduleKind kinds[] = {
-        core::ScheduleKind::Tutel, core::ScheduleKind::TutelImproved,
-        core::ScheduleKind::FsMoeNoIio, core::ScheduleKind::FsMoe};
     std::vector<std::unique_ptr<core::Schedule>> schedules;
-    for (core::ScheduleKind k : kinds)
-        schedules.push_back(core::Schedule::create(k));
+    for (const char *spec : {"tutel", "tutel-improved", "no-iio", "fsmoe"})
+        schedules.push_back(core::Schedule::create(spec));
 
     std::vector<double> speedup_sum(4, 0.0);
     std::vector<double> wins(4, 0.0);

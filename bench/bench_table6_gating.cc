@@ -86,9 +86,9 @@ main()
             lc.bwd.routing *= dsGateSlowdown(kind);
         }
         double ds =
-            core::Schedule::create(core::ScheduleKind::DsMoeSequential)
+            core::Schedule::create("ds-moe")
                 ->iterationTimeMs(ds_cost);
-        double fs = core::Schedule::create(core::ScheduleKind::FsMoe)
+        double fs = core::Schedule::create("fsmoe")
                         ->iterationTimeMs(base);
         double kernel_us =
             measureGateUs(kind, /*tokens=*/1024, /*embed=*/256,

@@ -2,14 +2,22 @@
  * @file
  * fsmoe_sweep — the parallel scenario-sweep driver.
  *
- * Evaluates a (model x cluster x batch) grid across all six schedules
- * on the sweep runtime's thread pool and prints, per configuration, a
- * makespan-ranked table of the schedules. Results can be persisted
- * (JSON/CSV), diffed against a stored baseline with a tolerance gate,
- * and the grid can be sharded across processes. Options:
+ * Evaluates a (model x cluster x batch) grid across a schedule-spec
+ * axis on the sweep runtime's thread pool and prints, per
+ * configuration, a makespan-ranked table of the schedules. The demo
+ * grid covers every registered schedule plus a parameterized
+ * tutel?degree={2,4,8} axis; --schedules replaces that axis with
+ * arbitrary specs. Results can be persisted (JSON/CSV), diffed
+ * against a stored baseline with a tolerance gate, and the grid can
+ * be sharded across processes. Options:
  *
  *   --threads N      worker threads (default: hardware concurrency)
  *   --batches LIST   comma-separated per-GPU batch sizes (default: 1,2)
+ *   --schedules LIST comma-separated schedule specs (names, aliases,
+ *                    or parameterized variants like tutel?degree=4);
+ *                    replaces the demo grid's schedule axis
+ *   --list-schedules print every registered schedule (canonical name,
+ *                    aliases, declared params, description) and exit
  *   --trace FILE     export the best-ranked scenario of the grid as
  *                    Chrome trace JSON (open in chrome://tracing)
  *   --out-json FILE  persist the sweep's results as JSON
@@ -38,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/schedules/schedule_registry.h"
 #include "runtime/result_store.h"
 #include "runtime/scenario.h"
 #include "runtime/sweep_engine.h"
@@ -68,9 +77,42 @@ parseBatches(const char *arg)
     return out;
 }
 
-/** The demo grid: both testbeds, two models, all six schedules. */
+/**
+ * Split a comma-separated list of schedule specs; validity is checked
+ * by ScenarioGrid::build() (fatal with the list of known schedules).
+ */
+std::vector<std::string>
+parseSchedules(const char *arg)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char *p = arg;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            cur += *p;
+        }
+    }
+    if (out.empty()) {
+        std::fprintf(stderr, "--schedules needs at least one spec\n");
+        std::exit(2);
+    }
+    return out;
+}
+
+/**
+ * The demo grid: both testbeds, two models, every registered schedule
+ * — plus, when no --schedules list overrides the axis, a
+ * parameterized tutel?degree={2,4,8} sub-grid on Testbed A, so the
+ * persisted baseline exercises schedule variants as sweep axes.
+ */
 std::vector<runtime::Scenario>
-makeGrid(const std::vector<int64_t> &batches)
+makeGrid(const std::vector<int64_t> &batches,
+         const std::vector<std::string> &schedules)
 {
     // Sequence lengths follow the paper's per-testbed settings
     // (L = 1024 on Testbed A, 256 on B), so build one sub-grid per
@@ -80,15 +122,51 @@ makeGrid(const std::vector<int64_t> &batches)
                  .clusters({"testbedA"})
                  .seqLens({1024})
                  .batches(batches)
+                 .schedules(schedules)
                  .build();
     auto b = runtime::ScenarioGrid()
                  .models({"gpt2xl-moe", "mixtral-7b"})
                  .clusters({"testbedB"})
                  .seqLens({256})
                  .batches(batches)
+                 .schedules(schedules)
                  .build();
     a.insert(a.end(), b.begin(), b.end());
+    if (schedules.empty()) {
+        auto degrees = runtime::ScenarioGrid()
+                           .models({"gpt2xl-moe"})
+                           .clusters({"testbedA"})
+                           .seqLens({1024})
+                           .batches(batches)
+                           .schedules({"tutel?degree=2", "tutel?degree=4",
+                                       "tutel?degree=8"})
+                           .build();
+        a.insert(a.end(), degrees.begin(), degrees.end());
+    }
     return a;
+}
+
+/** --list-schedules: the registry, formatted for discovery. */
+void
+listSchedules()
+{
+    for (const core::ScheduleInfo &info :
+         core::ScheduleRegistry::instance().list()) {
+        std::printf("%s", info.name.c_str());
+        if (!info.aliases.empty()) {
+            std::printf("  (aliases:");
+            for (const std::string &alias : info.aliases)
+                std::printf(" %s", alias.c_str());
+            std::printf(")");
+        }
+        std::printf("\n    %s\n", info.description.c_str());
+        for (const core::ScheduleParamInfo &p : info.params) {
+            std::printf("    %s=%s (%s)  %s\n", p.key.c_str(),
+                        p.defaultValue.c_str(),
+                        core::scheduleParamTypeName(p.type),
+                        p.description.c_str());
+        }
+    }
 }
 
 void
@@ -120,7 +198,7 @@ printRanked(const std::vector<runtime::ScenarioResult> &results)
                     "iter [ms]", "vs best");
         for (size_t i = 0; i < ranked.size(); ++i) {
             std::printf("  %-4zu %-16s %12.2f %8.2fx\n", i + 1,
-                        core::scheduleName(ranked[i]->scenario.schedule),
+                        ranked[i]->scenario.schedule.c_str(),
                         ranked[i]->makespanMs,
                         ranked[i]->makespanMs /
                             ranked.front()->makespanMs);
@@ -268,6 +346,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--threads N] [--batches LIST] [--trace FILE]\n"
+                 "          [--schedules LIST] [--list-schedules]\n"
                  "          [--out-json FILE] [--out-csv FILE]\n"
                  "          [--diff BASELINE] [--tolerance PCT]\n"
                  "          [--shard K/N] [--no-sim-cache] [--selftest]\n",
@@ -282,6 +361,7 @@ main(int argc, char **argv)
 {
     int threads = 0;
     std::vector<int64_t> batches = {1, 2};
+    std::vector<std::string> schedules; // empty = demo-grid default
     const char *trace_path = nullptr;
     const char *out_json = nullptr;
     const char *out_csv = nullptr;
@@ -296,6 +376,12 @@ main(int argc, char **argv)
             threads = std::atoi(argv[++i]);
         } else if (std::strcmp(argv[i], "--batches") == 0 && i + 1 < argc) {
             batches = parseBatches(argv[++i]);
+        } else if (std::strcmp(argv[i], "--schedules") == 0 &&
+                   i + 1 < argc) {
+            schedules = parseSchedules(argv[++i]);
+        } else if (std::strcmp(argv[i], "--list-schedules") == 0) {
+            listSchedules();
+            return 0;
         } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_path = argv[++i];
         } else if (std::strcmp(argv[i], "--out-json") == 0 && i + 1 < argc) {
@@ -328,7 +414,7 @@ main(int argc, char **argv)
         }
     }
 
-    std::vector<runtime::Scenario> grid = makeGrid(batches);
+    std::vector<runtime::Scenario> grid = makeGrid(batches, schedules);
     if (run_selftest) {
         if (trace_path != nullptr)
             std::fprintf(stderr,

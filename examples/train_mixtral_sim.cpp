@@ -10,6 +10,7 @@
 
 #include "core/moe_layer.h"
 #include "core/schedules/schedule.h"
+#include "core/schedules/schedule_registry.h"
 #include "model/models.h"
 #include "tensor/rng.h"
 
@@ -70,9 +71,10 @@ main()
         spec, cluster, model::paperParallelism(cluster));
     std::printf("\nprojected %s iteration time on %s:\n",
                 spec.name.c_str(), cluster.name.c_str());
-    for (core::ScheduleKind kind : core::allScheduleKinds()) {
-        auto sched = core::Schedule::create(kind);
-        std::printf("  %-16s %9.1f ms\n", sched->name(),
+    for (const std::string &name :
+         core::ScheduleRegistry::instance().names()) {
+        auto sched = core::Schedule::create(name);
+        std::printf("  %-16s %9.1f ms\n", sched->name().c_str(),
                     sched->iterationTimeMs(cost));
     }
     return 0;

@@ -14,7 +14,9 @@
  * inter-node channel (no inter/intra overlap), isolating the benefit
  * of contribution 2.
  */
+#include "core/schedules/builtins.h"
 #include "core/schedules/schedule.h"
+#include "core/schedules/schedule_registry.h"
 
 namespace fsmoe::core {
 
@@ -25,12 +27,14 @@ using namespace detail;
 class FsMoeSchedule : public Schedule
 {
   public:
-    explicit FsMoeSchedule(bool iio) : iio_(iio) {}
-
-    ScheduleKind kind() const override
-    {
-        return iio_ ? ScheduleKind::FsMoe : ScheduleKind::FsMoeNoIio;
-    }
+    /**
+     * @param iio   Overlap intra- and inter-node collectives on
+     *              separate channels (false models the No-IIO
+     *              ablation).
+     * @param step2 Enable the gradient partitioner's step-2 refinement
+     *              (disable to ablate adaptive repartitioning).
+     */
+    FsMoeSchedule(bool iio, bool step2) : iio_(iio), step2_(step2) {}
 
     sim::TaskGraph
     build(const ModelCost &model) const override
@@ -63,7 +67,7 @@ class FsMoeSchedule : public Schedule
         de.maxGenerations = 80;
         GradPartitionPlan plan = partitionGradients(
             makeGeneralizedLayers(model), model.models.allreduce, de,
-            /*enable_step2=*/true, /*merged_channel=*/!iio_);
+            /*enable_step2=*/step2_, /*merged_channel=*/!iio_);
 
         std::vector<sim::TaskId> barrier_deps;
         size_t plan_idx = 0;
@@ -101,37 +105,49 @@ class FsMoeSchedule : public Schedule
 
   private:
     bool iio_;
+    bool step2_;
 };
+
+ScheduleParamInfo
+step2Param()
+{
+    return {"step2", ScheduleParamType::Bool, "true",
+            "enable the gradient partitioner's step-2 refinement",
+            0.0};
+}
 
 } // namespace
 
 namespace detail {
 
-std::unique_ptr<Schedule> makeDsMoeSchedule();
-std::unique_ptr<Schedule> makeTutelSchedule(bool improved);
-std::unique_ptr<Schedule> makeLinaSchedule();
+void
+registerFsMoeSchedules(ScheduleRegistry &registry)
+{
+    ScheduleInfo no_iio;
+    no_iio.name = "FSMoE-No-IIO";
+    no_iio.aliases = {"no-iio"};
+    no_iio.description =
+        "FSMoE's adaptive degrees and gradient partitioning but "
+        "intra/inter-node collectives serialised on one channel "
+        "(the paper's ablation)";
+    no_iio.params = {step2Param()};
+    registry.registerSchedule(no_iio, [](const ScheduleParams &p) {
+        return std::make_unique<FsMoeSchedule>(false,
+                                               p.getBool("step2", true));
+    });
+
+    ScheduleInfo fsmoe;
+    fsmoe.name = "FSMoE";
+    fsmoe.description =
+        "the full system (Fig. 3d): three streams, intra/inter "
+        "overlap, per-phase degrees, adaptive gradient partitioning";
+    fsmoe.params = {step2Param()};
+    registry.registerSchedule(fsmoe, [](const ScheduleParams &p) {
+        return std::make_unique<FsMoeSchedule>(true,
+                                               p.getBool("step2", true));
+    });
+}
 
 } // namespace detail
-
-std::unique_ptr<Schedule>
-Schedule::create(ScheduleKind kind)
-{
-    switch (kind) {
-      case ScheduleKind::DsMoeSequential:
-        return detail::makeDsMoeSchedule();
-      case ScheduleKind::Tutel:
-        return detail::makeTutelSchedule(false);
-      case ScheduleKind::TutelImproved:
-        return detail::makeTutelSchedule(true);
-      case ScheduleKind::PipeMoeLina:
-        return detail::makeLinaSchedule();
-      case ScheduleKind::FsMoeNoIio:
-        return std::make_unique<FsMoeSchedule>(false);
-      case ScheduleKind::FsMoe:
-        return std::make_unique<FsMoeSchedule>(true);
-      default:
-        FSMOE_PANIC("unknown schedule kind");
-    }
-}
 
 } // namespace fsmoe::core

@@ -8,10 +8,12 @@
  * window smaller than one chunk's AllReduce stays unused, while an
  * oversized chunk collides with AlltoAll on the shared channel.
  */
-#include "core/schedules/schedule.h"
-
 #include <cmath>
 #include <limits>
+
+#include "core/schedules/builtins.h"
+#include "core/schedules/schedule.h"
+#include "core/schedules/schedule_registry.h"
 
 namespace fsmoe::core {
 
@@ -22,16 +24,21 @@ using namespace detail;
 class LinaSchedule : public Schedule
 {
   public:
-    explicit LinaSchedule(double chunk_bytes = 30.0 * (1 << 20))
-        : chunk_bytes_(chunk_bytes)
+    /**
+     * @param chunk_bytes Lina's fixed gradient bucket size (paper:
+     *                    30 MB).
+     * @param degree      Fixed pipeline degree; 0 searches 1..rMax.
+     */
+    LinaSchedule(double chunk_bytes, int degree)
+        : chunk_bytes_(chunk_bytes), degree_(degree)
     {
     }
-
-    ScheduleKind kind() const override { return ScheduleKind::PipeMoeLina; }
 
     sim::TaskGraph
     build(const ModelCost &model) const override
     {
+        if (degree_ > 0)
+            return buildWithDegree(model, degree_);
         int best_r = 1;
         double best_t = std::numeric_limits<double>::infinity();
         sim::Simulator simulator;
@@ -94,16 +101,35 @@ class LinaSchedule : public Schedule
     }
 
     double chunk_bytes_;
+    int degree_;
 };
 
 } // namespace
 
 namespace detail {
 
-std::unique_ptr<Schedule>
-makeLinaSchedule()
+void
+registerLinaSchedules(ScheduleRegistry &registry)
 {
-    return std::make_unique<LinaSchedule>();
+    ScheduleInfo info;
+    info.name = "PipeMoE+Lina";
+    info.aliases = {"lina"};
+    info.description =
+        "PipeMoE's pipelining plus Lina's fixed-size gradient "
+        "chunking overlapped with expert compute and dense backward";
+    info.params = {
+        {"chunkMB", ScheduleParamType::Double, "30",
+         "fixed gradient bucket size in MB (the paper's Lina uses 30)",
+         1.0 / 1024.0},
+        {"degree", ScheduleParamType::Int, "0",
+         "fixed pipeline degree r; 0 searches 1..rMax adaptively", 0.0},
+    };
+    registry.registerSchedule(info, [](const ScheduleParams &p) {
+        const double chunk_bytes =
+            p.getDouble("chunkMB", 30.0) * (1 << 20);
+        return std::make_unique<LinaSchedule>(
+            chunk_bytes, static_cast<int>(p.getInt("degree", 0)));
+    });
 }
 
 } // namespace detail

@@ -1,8 +1,5 @@
 #include "core/schedules/schedule.h"
 
-#include <cctype>
-#include <unordered_map>
-
 #include "base/logging.h"
 
 namespace fsmoe::core {
@@ -16,105 +13,6 @@ makeLayerCost(const PerfModelSet &models, const LayerShape &shape,
     lc.fwd = forwardTimes(models, lc.workload);
     lc.bwd = backwardTimes(models, lc.workload);
     return lc;
-}
-
-const std::vector<ScheduleKind> &
-allScheduleKinds()
-{
-    static const std::vector<ScheduleKind> kinds = {
-        ScheduleKind::DsMoeSequential, ScheduleKind::Tutel,
-        ScheduleKind::TutelImproved,   ScheduleKind::PipeMoeLina,
-        ScheduleKind::FsMoeNoIio,      ScheduleKind::FsMoe,
-    };
-    return kinds;
-}
-
-const char *
-scheduleName(ScheduleKind kind)
-{
-    switch (kind) {
-      case ScheduleKind::DsMoeSequential: return "DS-MoE";
-      case ScheduleKind::Tutel: return "Tutel";
-      case ScheduleKind::TutelImproved: return "Tutel-Improved";
-      case ScheduleKind::PipeMoeLina: return "PipeMoE+Lina";
-      case ScheduleKind::FsMoeNoIio: return "FSMoE-No-IIO";
-      case ScheduleKind::FsMoe: return "FSMoE";
-      default: return "?";
-    }
-}
-
-namespace {
-
-/** Lowercase and drop separators, so "PipeMoE+Lina" == "pipemoe-lina"
- *  == "pipemoelina". */
-std::string
-normalizeName(const std::string &name)
-{
-    std::string out;
-    out.reserve(name.size());
-    for (char c : name) {
-        if (std::isalnum(static_cast<unsigned char>(c)))
-            out += static_cast<char>(
-                std::tolower(static_cast<unsigned char>(c)));
-    }
-    return out;
-}
-
-/** The normalized-name registry: canonical names plus aliases. */
-const std::unordered_map<std::string, ScheduleKind> &
-scheduleRegistry()
-{
-    static const std::unordered_map<std::string, ScheduleKind> registry =
-        [] {
-            std::unordered_map<std::string, ScheduleKind> r;
-            for (ScheduleKind kind : allScheduleKinds())
-                r[normalizeName(scheduleName(kind))] = kind;
-            r[normalizeName("dsmoe")] = ScheduleKind::DsMoeSequential;
-            r[normalizeName("deepspeed")] = ScheduleKind::DsMoeSequential;
-            r[normalizeName("sequential")] = ScheduleKind::DsMoeSequential;
-            r[normalizeName("pipemoe")] = ScheduleKind::Tutel;
-            r[normalizeName("lina")] = ScheduleKind::PipeMoeLina;
-            r[normalizeName("no-iio")] = ScheduleKind::FsMoeNoIio;
-            return r;
-        }();
-    return registry;
-}
-
-} // namespace
-
-bool
-scheduleKindFromName(const std::string &name, ScheduleKind *kind)
-{
-    const auto &registry = scheduleRegistry();
-    auto it = registry.find(normalizeName(name));
-    if (it == registry.end())
-        return false;
-    if (kind)
-        *kind = it->second;
-    return true;
-}
-
-std::vector<std::string>
-scheduleNames()
-{
-    std::vector<std::string> names;
-    names.reserve(allScheduleKinds().size());
-    for (ScheduleKind kind : allScheduleKinds())
-        names.emplace_back(scheduleName(kind));
-    return names;
-}
-
-std::unique_ptr<Schedule>
-Schedule::createByName(const std::string &name)
-{
-    ScheduleKind kind;
-    if (!scheduleKindFromName(name, &kind)) {
-        std::string known;
-        for (const std::string &n : scheduleNames())
-            known += (known.empty() ? "" : ", ") + n;
-        FSMOE_FATAL("unknown schedule '", name, "'; known: ", known);
-    }
-    return create(kind);
 }
 
 double

@@ -2,28 +2,34 @@
  * @file
  * Schedule generators: from per-layer costs to simulator task graphs.
  *
- * Each schedule reproduces one of the systems the paper evaluates:
+ * The built-in schedule plugins reproduce the systems the paper
+ * evaluates (registry names in quotes):
  *
- *  - DsMoeSequential: DeepSpeed-MoE's default execution (Fig. 3a) —
+ *  - "DS-MoE": DeepSpeed-MoE's default execution (Fig. 3a) —
  *    every task runs back-to-back on one stream, Gradient-AllReduce
  *    after the whole backward pass.
- *  - Tutel: Tutel with PipeMoE's adaptive pipelining of AlltoAll and
+ *  - "Tutel": Tutel with PipeMoE's adaptive pipelining of AlltoAll and
  *    expert computation (Fig. 3b), one communication channel (no
  *    intra/inter overlap), a single pipeline degree shared by forward
  *    and backward, Gradient-AllReduce unoverlapped.
- *  - TutelImproved: Tutel plus Gradient-AllReduce overlapped with the
- *    non-MoE dense parts (the paper's strengthened baseline).
- *  - PipeMoeLina: PipeMoE plus Lina's fixed 30 MB gradient chunking
- *    overlapped with expert computation and dense parts.
- *  - FsMoeNoIio: FSMoE's adaptive per-phase degrees and gradient
+ *  - "Tutel-Improved": Tutel plus Gradient-AllReduce overlapped with
+ *    the non-MoE dense parts (the paper's strengthened baseline).
+ *  - "PipeMoE+Lina": PipeMoE plus Lina's fixed-size (default 30 MB)
+ *    gradient chunking overlapped with expert computation and dense
+ *    parts.
+ *  - "FSMoE-No-IIO": FSMoE's adaptive per-phase degrees and gradient
  *    partitioning, but inter- and intra-node communication still
  *    serialised on one channel (the paper's ablation).
- *  - FsMoe: the full system (Fig. 3d): three streams, intra/inter
+ *  - "FSMoE": the full system (Fig. 3d): three streams, intra/inter
  *    overlap, per-phase degrees, adaptive gradient partitioning.
  *
- * A schedule builds a sim::TaskGraph for one training iteration
- * (forward + backward over all generalized layers); the discrete-event
- * simulator turns it into an iteration time.
+ * The set is open: schedules are plugins registered with the
+ * string-keyed ScheduleRegistry (schedule_registry.h) and selected by
+ * spec strings with optional declared parameters ("tutel?degree=4",
+ * "lina?chunkMB=60"). A schedule builds a sim::TaskGraph for one
+ * training iteration (forward + backward over all generalized
+ * layers); the discrete-event simulator turns it into an iteration
+ * time.
  */
 #ifndef FSMOE_CORE_SCHEDULES_SCHEDULE_H
 #define FSMOE_CORE_SCHEDULES_SCHEDULE_H
@@ -71,53 +77,43 @@ struct ModelCost
 LayerCost makeLayerCost(const PerfModelSet &models, const LayerShape &shape,
                         const ParallelConfig &par);
 
-/** Schedule selector. */
-enum class ScheduleKind
-{
-    DsMoeSequential,
-    Tutel,
-    TutelImproved,
-    PipeMoeLina,
-    FsMoeNoIio,
-    FsMoe
-};
-
-/** All kinds, in the order the paper's figures list them. */
-const std::vector<ScheduleKind> &allScheduleKinds();
-
-/** Printable schedule name. */
-const char *scheduleName(ScheduleKind kind);
+class ScheduleRegistry;
 
 /**
- * Name -> kind lookup for CLI drivers and config files. Matching is
- * case-insensitive and ignores separators ("PipeMoE+Lina" ==
- * "pipemoe-lina"), and common aliases are registered ("dsmoe",
- * "sequential", "lina", "no-iio", ...).
+ * Abstract schedule: builds one iteration's task graph.
  *
- * @return true and sets @p kind on a match; false for unknown names.
+ * Concrete schedules are plugins resolved through the string-keyed
+ * ScheduleRegistry (see schedule_registry.h): each ships a
+ * ScheduleInfo (canonical name, aliases, declared tunable params) and
+ * a factory, and instances are created from *spec strings* such as
+ * "fsmoe", "tutel?degree=4", or "lina?chunkMB=60". The closed
+ * ScheduleKind enum this replaces is gone — discovering the available
+ * schedules is a registry query (`ScheduleRegistry::instance().list()`
+ * or `fsmoe_sweep --list-schedules`), and adding one never touches
+ * core headers.
  */
-bool scheduleKindFromName(const std::string &name, ScheduleKind *kind);
-
-/** Canonical names accepted by scheduleKindFromName, display order. */
-std::vector<std::string> scheduleNames();
-
-/** Abstract schedule: builds one iteration's task graph. */
 class Schedule
 {
   public:
     virtual ~Schedule() = default;
 
-    /** Factory for every supported schedule kind. */
-    static std::unique_ptr<Schedule> create(ScheduleKind kind);
+    /**
+     * Build a schedule from a spec string via the process-wide
+     * registry; fatal on unknown names or invalid parameters, listing
+     * what is accepted. Equivalent to
+     * `ScheduleRegistry::instance().create(spec)`.
+     */
+    static std::unique_ptr<Schedule> create(const std::string &spec);
+
+    /** Canonical schedule name, e.g. "Tutel" (set by the registry). */
+    const std::string &name() const { return name_; }
 
     /**
-     * Factory by registry name (see scheduleKindFromName); fatal on
-     * unknown names, listing the accepted ones.
+     * Canonical spec this instance was created from, e.g.
+     * "Tutel?degree=4"; equals name() when no parameters were given.
+     * Empty for instances constructed without the registry.
      */
-    static std::unique_ptr<Schedule> createByName(const std::string &name);
-
-    virtual ScheduleKind kind() const = 0;
-    const char *name() const { return scheduleName(kind()); }
+    const std::string &spec() const { return spec_; }
 
     /** Build the full-iteration (forward + backward) task graph. */
     virtual sim::TaskGraph build(const ModelCost &model) const = 0;
@@ -128,6 +124,11 @@ class Schedule
     /** Build + simulate, returning the full result for inspection. */
     sim::SimResult simulate(const ModelCost &model,
                             sim::TaskGraph *graph_out = nullptr) const;
+
+  private:
+    friend class ScheduleRegistry;
+    std::string name_;
+    std::string spec_;
 };
 
 namespace detail {

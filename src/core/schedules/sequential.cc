@@ -4,7 +4,9 @@
  * every layer executes back-to-back on one queue, and the gradient
  * AllReduces run unoverlapped after the backward pass.
  */
+#include "core/schedules/builtins.h"
 #include "core/schedules/schedule.h"
+#include "core/schedules/schedule_registry.h"
 
 namespace fsmoe::core {
 
@@ -13,9 +15,14 @@ namespace {
 class DsMoeSchedule : public Schedule
 {
   public:
-    ScheduleKind kind() const override
+    /**
+     * @param a2a_overhead    Override for ModelCost::dsA2aOverhead;
+     *                        0 keeps the model's value.
+     * @param kernel_overhead Ditto for dsKernelOverhead.
+     */
+    DsMoeSchedule(double a2a_overhead, double kernel_overhead)
+        : a2aOverhead_(a2a_overhead), kernelOverhead_(kernel_overhead)
     {
-        return ScheduleKind::DsMoeSequential;
     }
 
     sim::TaskGraph
@@ -24,19 +31,23 @@ class DsMoeSchedule : public Schedule
         using namespace detail;
         // Apply DeepSpeed-MoE's implementation overheads: staged 2DH
         // AlltoAll and unfused gate/order kernels.
+        const double a2a_ovh =
+            a2aOverhead_ > 0.0 ? a2aOverhead_ : model.dsA2aOverhead;
+        const double kern_ovh =
+            kernelOverhead_ > 0.0 ? kernelOverhead_ : model.dsKernelOverhead;
         ModelCost priced = model;
         for (LayerCost &lc : priced.layers) {
-            lc.fwd.a2a *= model.dsA2aOverhead;
-            lc.bwd.a2a *= model.dsA2aOverhead;
-            lc.fwd.routing *= model.dsKernelOverhead;
-            lc.bwd.routing *= model.dsKernelOverhead;
-            lc.fwd.order *= model.dsKernelOverhead;
-            lc.bwd.order *= model.dsKernelOverhead;
+            lc.fwd.a2a *= a2a_ovh;
+            lc.bwd.a2a *= a2a_ovh;
+            lc.fwd.routing *= kern_ovh;
+            lc.bwd.routing *= kern_ovh;
+            lc.fwd.order *= kern_ovh;
+            lc.bwd.order *= kern_ovh;
             // PhaseTimes drive the durations through the workload's
             // volumes inside appendMoePhase, so scale those too.
-            lc.workload.a2aBytes *= model.dsA2aOverhead;
-            lc.workload.routingMacs *= model.dsKernelOverhead;
-            lc.workload.orderBytes *= model.dsKernelOverhead;
+            lc.workload.a2aBytes *= a2a_ovh;
+            lc.workload.routingMacs *= kern_ovh;
+            lc.workload.orderBytes *= kern_ovh;
         }
 
         sim::TaskGraph graph;
@@ -64,16 +75,40 @@ class DsMoeSchedule : public Schedule
         }
         return graph;
     }
+
+  private:
+    double a2aOverhead_;
+    double kernelOverhead_;
 };
 
 } // namespace
 
 namespace detail {
 
-std::unique_ptr<Schedule>
-makeDsMoeSchedule()
+void
+registerSequentialSchedules(ScheduleRegistry &registry)
 {
-    return std::make_unique<DsMoeSchedule>();
+    ScheduleInfo info;
+    info.name = "DS-MoE";
+    info.aliases = {"dsmoe", "deepspeed", "sequential"};
+    info.description =
+        "DeepSpeed-MoE's default execution (Fig. 3a): every task "
+        "back-to-back on one stream, Gradient-AllReduce unoverlapped";
+    info.params = {
+        {"a2aOverhead", ScheduleParamType::Double, "0",
+         "override for the modelled 2DH AlltoAll overhead factor; "
+         "0 uses ModelCost::dsA2aOverhead",
+         0.0},
+        {"kernelOverhead", ScheduleParamType::Double, "0",
+         "override for the modelled unfused-kernel overhead factor; "
+         "0 uses ModelCost::dsKernelOverhead",
+         0.0},
+    };
+    registry.registerSchedule(info, [](const ScheduleParams &p) {
+        return std::make_unique<DsMoeSchedule>(
+            p.getDouble("a2aOverhead", 0.0),
+            p.getDouble("kernelOverhead", 0.0));
+    });
 }
 
 } // namespace detail

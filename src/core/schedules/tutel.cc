@@ -11,9 +11,11 @@
  *    adaptively (PipeMoE) by minimising the simulated iteration time;
  *  - plain Tutel leaves Gradient-AllReduce unoverlapped at the end.
  */
-#include "core/schedules/schedule.h"
-
 #include <limits>
+
+#include "core/schedules/builtins.h"
+#include "core/schedules/schedule.h"
+#include "core/schedules/schedule_registry.h"
 
 namespace fsmoe::core {
 
@@ -24,17 +26,21 @@ using namespace detail;
 class TutelSchedule : public Schedule
 {
   public:
-    explicit TutelSchedule(bool improved) : improved_(improved) {}
-
-    ScheduleKind kind() const override
+    /**
+     * @param improved Overlap Gradient-AllReduce with dense backward.
+     * @param degree   Fixed pipeline degree; 0 searches 1..rMax for
+     *                 the simulated-makespan minimiser (PipeMoE).
+     */
+    TutelSchedule(bool improved, int degree)
+        : improved_(improved), degree_(degree)
     {
-        return improved_ ? ScheduleKind::TutelImproved
-                         : ScheduleKind::Tutel;
     }
 
     sim::TaskGraph
     build(const ModelCost &model) const override
     {
+        if (degree_ > 0)
+            return buildWithDegree(model, degree_);
         int best_r = 1;
         double best_t = std::numeric_limits<double>::infinity();
         sim::Simulator simulator;
@@ -106,16 +112,47 @@ class TutelSchedule : public Schedule
     }
 
     bool improved_;
+    int degree_;
 };
+
+ScheduleParamInfo
+degreeParam()
+{
+    return {"degree", ScheduleParamType::Int, "0",
+            "fixed pipeline degree r; 0 searches 1..rMax adaptively",
+            0.0};
+}
 
 } // namespace
 
 namespace detail {
 
-std::unique_ptr<Schedule>
-makeTutelSchedule(bool improved)
+void
+registerTutelSchedules(ScheduleRegistry &registry)
 {
-    return std::make_unique<TutelSchedule>(improved);
+    ScheduleInfo tutel;
+    tutel.name = "Tutel";
+    tutel.aliases = {"pipemoe"};
+    tutel.description =
+        "Tutel with PipeMoE's adaptive pipelining (Fig. 3b): one "
+        "comm channel, shared fwd/bwd degree, unoverlapped "
+        "Gradient-AllReduce";
+    tutel.params = {degreeParam()};
+    registry.registerSchedule(tutel, [](const ScheduleParams &p) {
+        return std::make_unique<TutelSchedule>(
+            false, static_cast<int>(p.getInt("degree", 0)));
+    });
+
+    ScheduleInfo improved;
+    improved.name = "Tutel-Improved";
+    improved.description =
+        "Tutel plus Gradient-AllReduce overlapped with the dense "
+        "(non-MoE) backward parts — the paper's strengthened baseline";
+    improved.params = {degreeParam()};
+    registry.registerSchedule(improved, [](const ScheduleParams &p) {
+        return std::make_unique<TutelSchedule>(
+            true, static_cast<int>(p.getInt("degree", 0)));
+    });
 }
 
 } // namespace detail

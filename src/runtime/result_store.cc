@@ -513,7 +513,7 @@ SweepResult::fromScenarioResult(const ScenarioResult &r)
     SweepResult out;
     out.model = r.scenario.model;
     out.cluster = r.scenario.cluster;
-    out.schedule = core::scheduleName(r.scenario.schedule);
+    out.schedule = r.scenario.schedule;
     out.batch = r.scenario.batch;
     out.seqLen = r.scenario.seqLen;
     out.numLayers = r.scenario.numLayers;

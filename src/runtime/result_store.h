@@ -35,9 +35,10 @@ namespace fsmoe::runtime {
 /** One persisted scenario outcome (one JSON object / CSV row). */
 struct SweepResult
 {
-    // Scenario identity — mirrors runtime::Scenario, with the
-    // schedule stored by its canonical registry name so files remain
-    // readable without the enum.
+    // Scenario identity — mirrors runtime::Scenario; the schedule is
+    // its canonical spec string (name plus any explicit parameters,
+    // e.g. "Tutel?degree=4"), so parameterized variants persist as
+    // distinct, diffable rows.
     std::string model;
     std::string cluster;
     std::string schedule;

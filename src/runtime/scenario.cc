@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "base/logging.h"
+#include "core/schedules/schedule_registry.h"
 
 namespace fsmoe::runtime {
 
@@ -11,8 +12,8 @@ std::string
 Scenario::label() const
 {
     std::ostringstream oss;
-    oss << model << '/' << cluster << '/' << core::scheduleName(schedule)
-        << "/b" << batch << "/L" << seqLen;
+    oss << model << '/' << cluster << '/' << schedule << "/b" << batch
+        << "/L" << seqLen;
     if (numLayers > 0)
         oss << "/l" << numLayers;
     if (numExperts > 0)
@@ -164,7 +165,7 @@ ScenarioGrid::clusters(std::vector<std::string> v)
 }
 
 ScenarioGrid &
-ScenarioGrid::schedules(std::vector<core::ScheduleKind> v)
+ScenarioGrid::schedules(std::vector<std::string> v)
 {
     schedules_ = std::move(v);
     return *this;
@@ -202,21 +203,36 @@ ScenarioGrid::rMax(int r)
 std::vector<Scenario>
 ScenarioGrid::build() const
 {
-    const std::vector<core::ScheduleKind> &kinds =
-        schedules_.empty() ? core::allScheduleKinds() : schedules_;
+    // Canonicalize the schedule axis up front: unknown schedules and
+    // invalid parameters fail here, once, instead of mid-sweep, and
+    // every emitted scenario carries the canonical spec so labels and
+    // persisted keys are stable regardless of the caller's spelling.
+    std::vector<std::string> specs;
+    if (schedules_.empty()) {
+        specs = core::ScheduleRegistry::instance().names();
+    } else {
+        specs.reserve(schedules_.size());
+        for (const std::string &spec : schedules_) {
+            std::string canonical, error;
+            if (!core::ScheduleRegistry::instance().canonicalize(
+                    spec, &canonical, &error))
+                FSMOE_FATAL("bad schedule axis: ", error);
+            specs.push_back(std::move(canonical));
+        }
+    }
     std::vector<Scenario> out;
     out.reserve(models_.size() * clusters_.size() * batches_.size() *
-                seq_lens_.size() * num_layers_.size() * kinds.size());
+                seq_lens_.size() * num_layers_.size() * specs.size());
     for (const std::string &m : models_) {
         for (const std::string &c : clusters_) {
             for (int64_t b : batches_) {
                 for (int64_t l : seq_lens_) {
                     for (int layers : num_layers_) {
-                        for (core::ScheduleKind k : kinds) {
+                        for (const std::string &spec : specs) {
                             Scenario s;
                             s.model = m;
                             s.cluster = c;
-                            s.schedule = k;
+                            s.schedule = spec;
                             s.batch = b;
                             s.seqLen = l;
                             s.numLayers = layers;

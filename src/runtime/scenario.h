@@ -41,7 +41,13 @@ struct Scenario
 {
     std::string model;   ///< Model preset name (see ScenarioRegistry).
     std::string cluster; ///< Cluster preset name.
-    core::ScheduleKind schedule = core::ScheduleKind::FsMoe;
+    /// Schedule spec resolved through core::ScheduleRegistry — a
+    /// canonical name, alias, or parameterized variant such as
+    /// "Tutel?degree=4". Use the canonical spelling (what
+    /// ScheduleRegistry::canonicalize returns; ScenarioGrid::build
+    /// canonicalizes for you) so labels, cache keys, and persisted
+    /// result keys stay stable.
+    std::string schedule = "FSMoE";
     int64_t batch = 1;    ///< B: samples per GPU.
     int64_t seqLen = 1024; ///< L: tokens per sample.
     int numLayers = 0;    ///< Generalized layers; 0 = preset default.
@@ -106,16 +112,23 @@ class ScenarioRegistry
 
 /**
  * Cartesian-product sweep builder. Every axis defaults to one sensible
- * value; schedules default to all six systems. build() emits scenarios
- * in nested-loop order (model, cluster, batch, seqLen, layers,
- * schedule), which fixes the result order of a sweep.
+ * value; the schedule axis defaults to every registered schedule, in
+ * registration (paper-figure) order. Schedule specs may be
+ * parameterized variants ("tutel?degree=4"), making tuning knobs
+ * first-class sweep axes; build() canonicalizes each spec through
+ * core::ScheduleRegistry (fatal on unknown schedules or invalid
+ * parameters) and emits scenarios in nested-loop order (model,
+ * cluster, batch, seqLen, layers, schedule), which fixes the result
+ * order of a sweep.
  */
 class ScenarioGrid
 {
   public:
     ScenarioGrid &models(std::vector<std::string> v);
     ScenarioGrid &clusters(std::vector<std::string> v);
-    ScenarioGrid &schedules(std::vector<core::ScheduleKind> v);
+    /// Schedule spec strings; empty (the default) = every registered
+    /// schedule's canonical name.
+    ScenarioGrid &schedules(std::vector<std::string> v);
     ScenarioGrid &batches(std::vector<int64_t> v);
     ScenarioGrid &seqLens(std::vector<int64_t> v);
     ScenarioGrid &numLayers(std::vector<int> v);
@@ -126,7 +139,7 @@ class ScenarioGrid
   private:
     std::vector<std::string> models_ = {"gpt2xl-moe"};
     std::vector<std::string> clusters_ = {"testbedA"};
-    std::vector<core::ScheduleKind> schedules_; // empty = all kinds
+    std::vector<std::string> schedules_; // empty = all registered
     std::vector<int64_t> batches_ = {1};
     std::vector<int64_t> seq_lens_ = {1024};
     std::vector<int> num_layers_ = {0};

@@ -71,10 +71,10 @@ std::shared_ptr<const sim::SimResult>
 SweepEngine::simFor(const Scenario &s,
                     const std::shared_ptr<const core::ModelCost> &cost)
 {
-    // costKey() never contains the schedule, so appending it yields a
-    // unique (configuration, schedule) key.
-    const std::string key =
-        s.costKey() + '|' + core::scheduleName(s.schedule);
+    // costKey() never contains the schedule, so appending the spec
+    // yields a unique (configuration, schedule-variant) key;
+    // parameterized variants of one schedule cache separately.
+    const std::string key = s.costKey() + '|' + s.schedule;
     std::promise<std::shared_ptr<const sim::SimResult>> promise;
     std::shared_future<std::shared_ptr<const sim::SimResult>> hit;
     {

@@ -4,9 +4,9 @@
  * ThreadPool, memoizing both stages of an evaluation —
  *
  *   1. ModelCost derivation, keyed by Scenario::costKey() (every
- *      field except the schedule), so the six schedules of one
+ *      field except the schedule), so all schedule variants of one
  *      configuration price the workload once; and
- *   2. full SimResults, keyed by (costKey, schedule), so repeated
+ *   2. full SimResults, keyed by (costKey, schedule spec), so repeated
  *      sweeps — warm re-runs, overlapping grids, regression
  *      baselines — skip graph construction and simulation entirely.
  *

@@ -44,7 +44,7 @@ TEST(EndToEnd, ProfiledModelsMatchGroundTruthScheduling)
         cost_truth.layers.push_back(
             core::makeLayerCost(truth, spec.layer, par));
     }
-    auto sched = core::Schedule::create(core::ScheduleKind::FsMoe);
+    auto sched = core::Schedule::create("fsmoe");
     double t_fit = sched->iterationTimeMs(cost_fit);
     double t_truth = sched->iterationTimeMs(cost_truth);
     EXPECT_NEAR(t_fit, t_truth, 0.05 * t_truth);
@@ -69,12 +69,10 @@ TEST(EndToEnd, Fig6OrderingHoldsOnAllModels)
     for (const Case &c : cases) {
         core::ModelCost cost = model::makeModelCost(
             c.spec, c.cluster, model::paperParallelism(c.cluster));
-        double ds = core::Schedule::create(
-                        core::ScheduleKind::DsMoeSequential)
-                        ->iterationTimeMs(cost);
-        double tutel = core::Schedule::create(core::ScheduleKind::Tutel)
+        double ds = core::Schedule::create("ds-moe")->iterationTimeMs(cost);
+        double tutel = core::Schedule::create("tutel")
                            ->iterationTimeMs(cost);
-        double fsmoe = core::Schedule::create(core::ScheduleKind::FsMoe)
+        double fsmoe = core::Schedule::create("fsmoe")
                            ->iterationTimeMs(cost);
         EXPECT_LT(tutel, ds) << c.spec.name << " on " << c.cluster.name;
         EXPECT_LE(fsmoe, tutel * 1.001)
@@ -162,9 +160,9 @@ TEST(EndToEnd, GpipeAndFlatSchedulingAgreeOnRanking)
 {
     sim::ClusterSpec cluster = sim::testbedA();
     model::ModelSpec spec = model::mixtral7B(3, 4, 512, 8);
-    auto ds = core::Schedule::create(core::ScheduleKind::DsMoeSequential);
-    auto tutel = core::Schedule::create(core::ScheduleKind::Tutel);
-    auto fsmoe = core::Schedule::create(core::ScheduleKind::FsMoe);
+    auto ds = core::Schedule::create("ds-moe");
+    auto tutel = core::Schedule::create("tutel");
+    auto fsmoe = core::Schedule::create("fsmoe");
     model::GpipeResult rds = model::gpipeIteration(*ds, spec, cluster, 2,
                                                    4);
     model::GpipeResult rt = model::gpipeIteration(*tutel, spec, cluster,
@@ -204,10 +202,10 @@ TEST_P(ScheduleSweepTest, FsMoeBoundedAndWinning)
         cost.models, shape, model::paperParallelism(cluster)));
 
     double tutel =
-        core::Schedule::create(core::ScheduleKind::Tutel)
+        core::Schedule::create("tutel")
             ->iterationTimeMs(cost);
     double fsmoe =
-        core::Schedule::create(core::ScheduleKind::FsMoe)
+        core::Schedule::create("fsmoe")
             ->iterationTimeMs(cost);
     EXPECT_LE(fsmoe, tutel * 1.001);
 

@@ -124,7 +124,7 @@ TEST(Models, MakeModelCostBuildsAllLayers)
 
 TEST(Gpipe, MoreMicroBatchesAmortiseBubbles)
 {
-    auto sched = core::Schedule::create(core::ScheduleKind::FsMoe);
+    auto sched = core::Schedule::create("fsmoe");
     ModelSpec spec = gpt2XlMoe(3, 8, 512, 8);
     sim::ClusterSpec cluster = sim::testbedA();
     GpipeResult m2 = gpipeIteration(*sched, spec, cluster, 2, 2);
@@ -137,7 +137,7 @@ TEST(Gpipe, MoreMicroBatchesAmortiseBubbles)
 
 TEST(Gpipe, SingleStageMatchesPlainIteration)
 {
-    auto sched = core::Schedule::create(core::ScheduleKind::Tutel);
+    auto sched = core::Schedule::create("tutel");
     ModelSpec spec = gpt2XlMoe(6, 1, 512, 4);
     sim::ClusterSpec cluster = sim::testbedA();
     GpipeResult r = gpipeIteration(*sched, spec, cluster, 1, 1);
@@ -151,8 +151,8 @@ TEST(Gpipe, FsMoeStillBeatsSequentialUnderPp)
 {
     ModelSpec spec = mixtral7B(3, 2, 512, 8);
     sim::ClusterSpec cluster = sim::testbedA();
-    auto ds = core::Schedule::create(core::ScheduleKind::DsMoeSequential);
-    auto fs = core::Schedule::create(core::ScheduleKind::FsMoe);
+    auto ds = core::Schedule::create("ds-moe");
+    auto fs = core::Schedule::create("fsmoe");
     GpipeResult rds = gpipeIteration(*ds, spec, cluster, 2, 4);
     GpipeResult rfs = gpipeIteration(*fs, spec, cluster, 2, 4);
     EXPECT_LT(rfs.iterationMs, rds.iterationMs);

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "core/schedules/schedule.h"
+#include "core/schedules/schedule_registry.h"
 #include "runtime/scenario.h"
 #include "runtime/sweep_engine.h"
 #include "runtime/thread_pool.h"
@@ -67,7 +68,8 @@ TEST(Scenario, GridEnumeratesCartesianProductDeterministically)
                     .clusters({"testbedA", "testbedB"})
                     .batches({1, 2})
                     .build();
-    EXPECT_EQ(grid.size(), 2u * 2u * 2u * core::allScheduleKinds().size());
+    EXPECT_EQ(grid.size(),
+              2u * 2u * 2u * core::ScheduleRegistry::instance().names().size());
     auto again = ScenarioGrid()
                      .models({"gpt2xl-moe", "mixtral-7b"})
                      .clusters({"testbedA", "testbedB"})
@@ -83,9 +85,9 @@ TEST(Scenario, CostKeyIgnoresScheduleOnly)
     Scenario a;
     a.model = "gpt2xl-moe";
     a.cluster = "testbedA";
-    a.schedule = core::ScheduleKind::FsMoe;
+    a.schedule = "FSMoE";
     Scenario b = a;
-    b.schedule = core::ScheduleKind::Tutel;
+    b.schedule = "Tutel?degree=4";
     EXPECT_EQ(a.costKey(), b.costKey());
     EXPECT_NE(a.label(), b.label());
     b.batch = 2;
@@ -105,27 +107,20 @@ TEST(Scenario, RegistryKnowsBuiltinsAndAcceptsCustomPresets)
     EXPECT_EQ(reg.makeCluster("testbedA-3node").numNodes, 3);
 }
 
-TEST(Schedule, FactoryByNameResolvesCanonicalNamesAndAliases)
+TEST(Schedule, FactoryBySpecResolvesCanonicalNamesAndAliases)
 {
-    core::ScheduleKind kind;
-    ASSERT_TRUE(core::scheduleKindFromName("FSMoE", &kind));
-    EXPECT_EQ(kind, core::ScheduleKind::FsMoe);
-    ASSERT_TRUE(core::scheduleKindFromName("ds-moe", &kind));
-    EXPECT_EQ(kind, core::ScheduleKind::DsMoeSequential);
-    ASSERT_TRUE(core::scheduleKindFromName("Tutel Improved", &kind));
-    EXPECT_EQ(kind, core::ScheduleKind::TutelImproved);
-    ASSERT_TRUE(core::scheduleKindFromName("LINA", &kind));
-    EXPECT_EQ(kind, core::ScheduleKind::PipeMoeLina);
-    ASSERT_TRUE(core::scheduleKindFromName("pipemoe-lina", &kind));
-    EXPECT_EQ(kind, core::ScheduleKind::PipeMoeLina);
-    ASSERT_TRUE(core::scheduleKindFromName("tutel", &kind));
-    EXPECT_EQ(kind, core::ScheduleKind::Tutel);
-    EXPECT_FALSE(core::scheduleKindFromName("bogus", &kind));
-
-    for (const std::string &name : core::scheduleNames()) {
-        auto sched = core::Schedule::createByName(name);
+    // Alias/normalization details live in schedule_registry_test; here
+    // we only check the runtime-facing contract: every registered name
+    // resolves to a schedule reporting that canonical name.
+    for (const std::string &name :
+         core::ScheduleRegistry::instance().names()) {
+        auto sched = core::Schedule::create(name);
         EXPECT_EQ(sched->name(), name);
     }
+    std::string error;
+    EXPECT_EQ(core::ScheduleRegistry::instance().tryCreate("bogus", &error),
+              nullptr);
+    EXPECT_NE(error.find("unknown schedule"), std::string::npos);
 }
 
 // -------------------------------------------------------------- engine
@@ -416,7 +411,7 @@ TEST(TraceExport, ChromeJsonIsWellFormedAndCoversEveryTask)
     Scenario s;
     s.model = "gpt2xl-moe";
     s.cluster = "testbedB";
-    s.schedule = core::ScheduleKind::FsMoe;
+    s.schedule = "FSMoE";
     s.numLayers = 2;
 
     SweepOptions opts;
@@ -445,7 +440,7 @@ TEST(TraceExport, EventsMatchSimulatedTimeline)
     Scenario s;
     s.model = "gpt2xl-moe";
     s.cluster = "testbedA";
-    s.schedule = core::ScheduleKind::Tutel;
+    s.schedule = "Tutel";
     s.numLayers = 1;
 
     SweepOptions opts;

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "core/schedules/schedule.h"
+#include "core/schedules/schedule_registry.h"
 #include "model/models.h"
 #include "sim/cluster.h"
 #include "sim/simulator.h"
@@ -35,21 +36,24 @@ smallModel(const sim::ClusterSpec &cluster, int layers = 3,
     return cost;
 }
 
-TEST(Schedules, FactoryCoversAllKinds)
+TEST(Schedules, FactoryCoversAllRegisteredSchedules)
 {
-    for (ScheduleKind kind : allScheduleKinds()) {
-        auto sched = Schedule::create(kind);
+    const auto names = ScheduleRegistry::instance().names();
+    ASSERT_GE(names.size(), 6u);
+    for (const std::string &name : names) {
+        auto sched = Schedule::create(name);
         ASSERT_NE(sched, nullptr);
-        EXPECT_EQ(sched->kind(), kind);
-        EXPECT_STRNE(sched->name(), "?");
+        EXPECT_EQ(sched->name(), name);
+        // No parameters given, so the canonical spec is the bare name.
+        EXPECT_EQ(sched->spec(), name);
     }
 }
 
 TEST(Schedules, GraphsAreValidAndSimulable)
 {
     ModelCost cost = smallModel(sim::testbedB());
-    for (ScheduleKind kind : allScheduleKinds()) {
-        auto sched = Schedule::create(kind);
+    for (const std::string &name : ScheduleRegistry::instance().names()) {
+        auto sched = Schedule::create(name);
         sim::TaskGraph graph = sched->build(cost);
         EXPECT_FALSE(graph.empty()) << sched->name();
         sim::SimResult res = sim::Simulator{}.run(graph);
@@ -63,8 +67,8 @@ TEST(Schedules, OpTimeConservation)
     // fixed pipeline-degree-independent classes (attention, routing),
     // and AlltoAll busy time must scale with 2*r*alpha + volume terms.
     ModelCost cost = smallModel(sim::testbedB());
-    auto ds = Schedule::create(ScheduleKind::DsMoeSequential);
-    auto fs = Schedule::create(ScheduleKind::FsMoe);
+    auto ds = Schedule::create("ds-moe");
+    auto fs = Schedule::create("fsmoe");
     sim::SimResult ds_res = ds->simulate(cost);
     sim::SimResult fs_res = fs->simulate(cost);
     EXPECT_NEAR(ds_res.timeOf(sim::OpType::Attention),
@@ -84,16 +88,12 @@ TEST(Schedules, DsMoeIsSlowest)
     for (const sim::ClusterSpec &cluster :
          {sim::testbedA(), sim::testbedB()}) {
         ModelCost cost = smallModel(cluster);
-        double ds = Schedule::create(ScheduleKind::DsMoeSequential)
-                        ->iterationTimeMs(cost);
-        for (ScheduleKind kind :
-             {ScheduleKind::Tutel, ScheduleKind::TutelImproved,
-              ScheduleKind::PipeMoeLina, ScheduleKind::FsMoeNoIio,
-              ScheduleKind::FsMoe}) {
-            double t = Schedule::create(kind)->iterationTimeMs(cost);
+        double ds = Schedule::create("ds-moe")->iterationTimeMs(cost);
+        for (const char *spec :
+             {"tutel", "tutel-improved", "lina", "no-iio", "fsmoe"}) {
+            double t = Schedule::create(spec)->iterationTimeMs(cost);
             EXPECT_LE(t, ds * 1.001)
-                << scheduleName(kind) << " slower than DS-MoE on "
-                << cluster.name;
+                << spec << " slower than DS-MoE on " << cluster.name;
         }
     }
 }
@@ -103,10 +103,8 @@ TEST(Schedules, FsMoeBeatsOrMatchesTutel)
     for (const sim::ClusterSpec &cluster :
          {sim::testbedA(), sim::testbedB()}) {
         ModelCost cost = smallModel(cluster);
-        double tutel =
-            Schedule::create(ScheduleKind::Tutel)->iterationTimeMs(cost);
-        double fsmoe =
-            Schedule::create(ScheduleKind::FsMoe)->iterationTimeMs(cost);
+        double tutel = Schedule::create("tutel")->iterationTimeMs(cost);
+        double fsmoe = Schedule::create("fsmoe")->iterationTimeMs(cost);
         EXPECT_LE(fsmoe, tutel * 1.001) << cluster.name;
     }
 }
@@ -116,26 +114,24 @@ TEST(Schedules, IioOverlapHelps)
     // FSMoE with inter/intra overlap must not lose to its ablation.
     ModelCost cost = smallModel(sim::testbedA(), 3, 4096);
     double no_iio =
-        Schedule::create(ScheduleKind::FsMoeNoIio)->iterationTimeMs(cost);
-    double full =
-        Schedule::create(ScheduleKind::FsMoe)->iterationTimeMs(cost);
+        Schedule::create("no-iio")->iterationTimeMs(cost);
+    double full = Schedule::create("fsmoe")->iterationTimeMs(cost);
     EXPECT_LE(full, no_iio * 1.001);
 }
 
 TEST(Schedules, GradientOverlapHelpsTutel)
 {
     ModelCost cost = smallModel(sim::testbedB(), 4);
-    double plain =
-        Schedule::create(ScheduleKind::Tutel)->iterationTimeMs(cost);
-    double improved = Schedule::create(ScheduleKind::TutelImproved)
-                          ->iterationTimeMs(cost);
+    double plain = Schedule::create("tutel")->iterationTimeMs(cost);
+    double improved =
+        Schedule::create("tutel-improved")->iterationTimeMs(cost);
     EXPECT_LE(improved, plain * 1.001);
 }
 
 TEST(Schedules, SequentialMakespanEqualsSumOfDurations)
 {
     ModelCost cost = smallModel(sim::testbedB(), 2);
-    auto ds = Schedule::create(ScheduleKind::DsMoeSequential);
+    auto ds = Schedule::create("ds-moe");
     sim::TaskGraph graph = ds->build(cost);
     double sum = 0.0;
     for (const sim::Task &t : graph.tasks())
@@ -147,8 +143,7 @@ TEST(Schedules, SequentialMakespanEqualsSumOfDurations)
 TEST(Schedules, FsMoeUsesMultipleStreams)
 {
     ModelCost cost = smallModel(sim::testbedB(), 2);
-    sim::TaskGraph graph = Schedule::create(ScheduleKind::FsMoe)
-                               ->build(cost);
+    sim::TaskGraph graph = Schedule::create("fsmoe")->build(cost);
     EXPECT_GE(graph.numStreams(), 3);
     bool has_intra = false;
     for (const sim::Task &t : graph.tasks())
@@ -159,8 +154,7 @@ TEST(Schedules, FsMoeUsesMultipleStreams)
 TEST(Schedules, NoIioKeepsCommOnOneChannel)
 {
     ModelCost cost = smallModel(sim::testbedB(), 2);
-    sim::TaskGraph graph = Schedule::create(ScheduleKind::FsMoeNoIio)
-                               ->build(cost);
+    sim::TaskGraph graph = Schedule::create("no-iio")->build(cost);
     for (const sim::Task &t : graph.tasks())
         EXPECT_NE(t.link, sim::Link::IntraNode)
             << "No-IIO must serialise " << t.name
@@ -175,8 +169,8 @@ TEST(Schedules, GradAllReduceBytesConservedAcrossSchedules)
     for (const LayerCost &lc : cost.layers)
         total_bytes += lc.workload.gradBytes;
 
-    for (ScheduleKind kind : allScheduleKinds()) {
-        sim::TaskGraph graph = Schedule::create(kind)->build(cost);
+    for (const std::string &name : ScheduleRegistry::instance().names()) {
+        sim::TaskGraph graph = Schedule::create(name)->build(cost);
         double gar_bytes = 0.0;
         for (const sim::Task &t : graph.tasks()) {
             if (t.op == sim::OpType::GradAllReduce)
@@ -186,7 +180,7 @@ TEST(Schedules, GradAllReduceBytesConservedAcrossSchedules)
         // naive per-task inversion undercounts by a few alpha-worths;
         // 5% covers every schedule's slicing policy.
         EXPECT_NEAR(gar_bytes, total_bytes, total_bytes * 0.05)
-            << scheduleName(kind);
+            << name;
     }
 }
 
