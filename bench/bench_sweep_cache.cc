@@ -17,25 +17,6 @@ namespace {
 
 using namespace fsmoe;
 
-std::vector<runtime::Scenario>
-demoGrid()
-{
-    auto a = runtime::ScenarioGrid()
-                 .models({"gpt2xl-moe", "mixtral-7b"})
-                 .clusters({"testbedA"})
-                 .seqLens({1024})
-                 .batches({1, 2})
-                 .build();
-    auto b = runtime::ScenarioGrid()
-                 .models({"gpt2xl-moe", "mixtral-7b"})
-                 .clusters({"testbedB"})
-                 .seqLens({256})
-                 .batches({1, 2})
-                 .build();
-    a.insert(a.end(), b.begin(), b.end());
-    return a;
-}
-
 struct Sample
 {
     const char *label;
@@ -57,7 +38,9 @@ printSample(const Sample &s, double cold_ms)
 int
 main()
 {
-    const auto grid = demoGrid();
+    // The same grid the blessed baseline and bench_sim_hotpath sweep,
+    // so the tiers' hit rates describe the workload CI actually runs.
+    const auto grid = runtime::demoGrid();
     char title[96];
     std::snprintf(title, sizeof title,
                   "Sweep-cache tiers on the %zu-scenario demo grid "

@@ -32,6 +32,10 @@
  *                    persisted shard files merge (fsmoe_diff --merge)
  *                    into a byte-identical unsharded result
  *   --no-sim-cache   disable the (costKey, schedule) SimResult cache
+ *   --profile        print a per-stage wall-time breakdown after the
+ *                    sweep (cost derivation, graph build, solver,
+ *                    simulate, caches) so perf PRs can show their
+ *                    numbers; see docs/PERFORMANCE.md
  *   --selftest       determinism + persistence self-checks: serial vs
  *                    4-thread bit-identity, JSON/CSV round-trip,
  *                    self-diff, and shard partition coverage; exits
@@ -47,6 +51,7 @@
 #include <vector>
 
 #include "core/schedules/schedule_registry.h"
+#include "core/solver_cache.h"
 #include "runtime/result_store.h"
 #include "runtime/scenario.h"
 #include "runtime/sweep_engine.h"
@@ -102,48 +107,6 @@ parseSchedules(const char *arg)
         std::exit(2);
     }
     return out;
-}
-
-/**
- * The demo grid: both testbeds, two models, every registered schedule
- * — plus, when no --schedules list overrides the axis, a
- * parameterized tutel?degree={2,4,8} sub-grid on Testbed A, so the
- * persisted baseline exercises schedule variants as sweep axes.
- */
-std::vector<runtime::Scenario>
-makeGrid(const std::vector<int64_t> &batches,
-         const std::vector<std::string> &schedules)
-{
-    // Sequence lengths follow the paper's per-testbed settings
-    // (L = 1024 on Testbed A, 256 on B), so build one sub-grid per
-    // cluster and concatenate.
-    auto a = runtime::ScenarioGrid()
-                 .models({"gpt2xl-moe", "mixtral-7b"})
-                 .clusters({"testbedA"})
-                 .seqLens({1024})
-                 .batches(batches)
-                 .schedules(schedules)
-                 .build();
-    auto b = runtime::ScenarioGrid()
-                 .models({"gpt2xl-moe", "mixtral-7b"})
-                 .clusters({"testbedB"})
-                 .seqLens({256})
-                 .batches(batches)
-                 .schedules(schedules)
-                 .build();
-    a.insert(a.end(), b.begin(), b.end());
-    if (schedules.empty()) {
-        auto degrees = runtime::ScenarioGrid()
-                           .models({"gpt2xl-moe"})
-                           .clusters({"testbedA"})
-                           .seqLens({1024})
-                           .batches(batches)
-                           .schedules({"tutel?degree=2", "tutel?degree=4",
-                                       "tutel?degree=8"})
-                           .build();
-        a.insert(a.end(), degrees.begin(), degrees.end());
-    }
-    return a;
 }
 
 /** --list-schedules: the registry, formatted for discovery. */
@@ -204,6 +167,41 @@ printRanked(const std::vector<runtime::ScenarioResult> &results)
                             ranked.front()->makespanMs);
         }
     }
+}
+
+/**
+ * --profile: where did the sweep's time go? Stage times are summed
+ * across workers (they can exceed wall time on multiple threads) and
+ * count only cache-miss work. The solver line re-slices part of the
+ * graph-build line: Algorithm-1 and DE-partition solves happen inside
+ * Schedule::build, so cold-solve time is included in "graph build"
+ * and broken out separately from the process-wide solver cache.
+ */
+void
+printProfile(const runtime::SweepStats &stats)
+{
+    const core::SolverCacheStats solver = core::solverCacheStats();
+    std::printf("\nper-stage profile (summed across workers):\n");
+    std::printf("  %-28s %10.1f ms  (%zu cold, %zu cached)\n",
+                "cost derivation", stats.costDeriveMs,
+                stats.costCacheMisses, stats.costCacheHits);
+    // No cold/cached annotation here: builds are counted by the sim
+    // cache only when it is enabled (keepGraphs and --no-sim-cache
+    // build every scenario without moving those counters, which the
+    // main stats line already reports).
+    std::printf("  %-28s %10.1f ms\n", "graph build + in-build sims",
+                stats.graphBuildMs);
+    std::printf("  %-28s %10.1f ms  (%llu cold, %llu cached; "
+                "process-wide)\n",
+                "  of which solver solves", solver.solveMs,
+                static_cast<unsigned long long>(solver.pipelineMisses +
+                                                solver.partitionMisses),
+                static_cast<unsigned long long>(solver.pipelineHits +
+                                                solver.partitionHits));
+    std::printf("  %-28s %10.1f ms\n", "simulate (final graphs)",
+                stats.simulateMs);
+    std::printf("  %-28s %10.1f ms\n", "sweep wall time",
+                stats.lastSweepWallMs);
 }
 
 /** memcmp-level equality of two sweeps' timing results. */
@@ -349,7 +347,8 @@ usage(const char *argv0)
                  "          [--schedules LIST] [--list-schedules]\n"
                  "          [--out-json FILE] [--out-csv FILE]\n"
                  "          [--diff BASELINE] [--tolerance PCT]\n"
-                 "          [--shard K/N] [--no-sim-cache] [--selftest]\n",
+                 "          [--shard K/N] [--no-sim-cache] [--profile]\n"
+                 "          [--selftest]\n",
                  argv0);
     return 2;
 }
@@ -370,6 +369,7 @@ main(int argc, char **argv)
     runtime::ShardSpec shard;
     bool sim_cache = true;
     bool run_selftest = false;
+    bool profile = false;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -407,6 +407,8 @@ main(int argc, char **argv)
             }
         } else if (std::strcmp(argv[i], "--no-sim-cache") == 0) {
             sim_cache = false;
+        } else if (std::strcmp(argv[i], "--profile") == 0) {
+            profile = true;
         } else if (std::strcmp(argv[i], "--selftest") == 0) {
             run_selftest = true;
         } else {
@@ -414,7 +416,8 @@ main(int argc, char **argv)
         }
     }
 
-    std::vector<runtime::Scenario> grid = makeGrid(batches, schedules);
+    std::vector<runtime::Scenario> grid =
+        runtime::demoGrid(batches, schedules);
     if (run_selftest) {
         if (trace_path != nullptr)
             std::fprintf(stderr,
@@ -447,6 +450,8 @@ main(int argc, char **argv)
                 stats.scenariosRun, threads, stats.lastSweepWallMs,
                 stats.costCacheMisses, stats.costCacheHits,
                 stats.simCacheMisses, stats.simCacheHits);
+    if (profile)
+        printProfile(stats);
 
     const auto records = runtime::toSweepResults(results);
     if (out_json != nullptr) {

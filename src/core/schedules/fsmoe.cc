@@ -17,6 +17,7 @@
 #include "core/schedules/builtins.h"
 #include "core/schedules/schedule.h"
 #include "core/schedules/schedule_registry.h"
+#include "core/solver_cache.h"
 
 namespace fsmoe::core {
 
@@ -40,20 +41,23 @@ class FsMoeSchedule : public Schedule
     build(const ModelCost &model) const override
     {
         sim::TaskGraph graph;
+        reserveIteration(graph, model.layers.size(), model.rMax);
         PipelineBuildOptions opts;
         opts.mergeCommLinks = !iio_;
 
-        // Forward: each layer gets its own Algorithm-1 degree. The
-        // No-IIO ablation serialises intra- and inter-node collectives
-        // on one channel, so its degrees come from the merged-channel
-        // makespan model instead.
+        // Forward: each layer gets its own Algorithm-1 degree, served
+        // from the solver cache — within one model every layer poses
+        // the identical problem, so only the first layer solves cold.
+        // The No-IIO ablation serialises intra- and inter-node
+        // collectives on one channel, so its degrees come from the
+        // merged-channel makespan model instead.
         sim::TaskId dep = -1;
         for (const LayerCost &lc : model.layers) {
             PipelineProblem prob = makeProblem(model.models, lc.workload,
                                                Phase::Forward, 0.0,
                                                model.rMax);
-            int r = iio_ ? solvePipeline(prob).r
-                         : solvePipelineMerged(prob).r;
+            int r = iio_ ? cachedSolvePipeline(prob).r
+                         : cachedSolvePipelineMerged(prob).r;
             dep = appendAttention(graph, lc, Phase::Forward, opts, dep);
             dep = appendMoePhase(graph, lc, model.models, Phase::Forward,
                                  r, opts, dep);
@@ -65,11 +69,12 @@ class FsMoeSchedule : public Schedule
         solver::DeConfig de;
         de.populationSize = 24;
         de.maxGenerations = 80;
-        GradPartitionPlan plan = partitionGradients(
+        GradPartitionPlan plan = cachedPartitionGradients(
             makeGeneralizedLayers(model), model.models.allreduce, de,
             /*enable_step2=*/step2_, /*merged_channel=*/!iio_);
 
         std::vector<sim::TaskId> barrier_deps;
+        barrier_deps.reserve(2 * model.layers.size() + 2);
         size_t plan_idx = 0;
         for (auto it = model.layers.rbegin(); it != model.layers.rend();
              ++it, ++plan_idx) {

@@ -58,6 +58,7 @@ class LinaSchedule : public Schedule
     buildWithDegree(const ModelCost &model, int r) const
     {
         sim::TaskGraph graph;
+        reserveIteration(graph, model.layers.size(), r);
         PipelineBuildOptions opts;
         opts.mergeCommLinks = true;
 
@@ -68,6 +69,7 @@ class LinaSchedule : public Schedule
                                  r, opts, dep);
         }
         std::vector<sim::TaskId> barrier_deps;
+        barrier_deps.reserve(2 * model.layers.size() + 2);
         // Lina accumulates gradients into fixed-size buckets across
         // layers and flushes an AllReduce only when a bucket fills; a
         // partial bucket waits until backpropagation ends. Readiness

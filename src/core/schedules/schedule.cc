@@ -1,5 +1,7 @@
 #include "core/schedules/schedule.h"
 
+#include <algorithm>
+
 #include "base/logging.h"
 
 namespace fsmoe::core {
@@ -58,6 +60,19 @@ commLink(bool merged)
 
 } // namespace
 
+void
+reserveIteration(sim::TaskGraph &graph, size_t num_layers, int r_max)
+{
+    const size_t r = static_cast<size_t>(std::max(1, r_max));
+    // Per layer per phase: attention, routing, order, iorder, up to
+    // 5r pipeline chunks, and an in-pipeline Gradient-AllReduce; plus
+    // slack for per-layer gradient tasks (Lina buckets, Tutel slices,
+    // exposed tails) and the end-of-iteration barrier.
+    const size_t per_phase = 5 + 5 * r;
+    graph.reserve(num_layers * 2 * per_phase + 8 * num_layers + 2,
+                  num_layers * 2 * (6 * r + 8) + 8 * num_layers + 8);
+}
+
 sim::TaskId
 appendAttention(sim::TaskGraph &graph, const LayerCost &lc, Phase phase,
                 const PipelineBuildOptions &opts, sim::TaskId dep)
@@ -115,12 +130,13 @@ appendMoePhase(sim::TaskGraph &graph, const LayerCost &lc,
 
     // Pipelined body: dispatch_i -> allgather_i -> experts_i ->
     // reducescatter_i -> combine_i, all chunks independent of each
-    // other except through the shared links and streams.
+    // other except through the shared links and streams. Labels are
+    // lazy {base, chunk} pairs, so none of this formats or allocates
+    // strings on the sweep hot path.
     std::vector<sim::TaskId> dispatch(r), combine(r);
     for (int i = 0; i < r; ++i) {
-        dispatch[i] = graph.addTask("d" + std::to_string(i),
-                                    sim::OpType::AlltoAll, l_inter, s_disp,
-                                    t_a2a, {order});
+        dispatch[i] = graph.addTask({"d", i}, sim::OpType::AlltoAll,
+                                    l_inter, s_disp, t_a2a, {order});
     }
     sim::TaskId gar = -1;
     if (gar_ms > 0.0) {
@@ -135,19 +151,15 @@ appendMoePhase(sim::TaskGraph &graph, const LayerCost &lc,
     if (gar_out)
         *gar_out = gar;
     for (int i = 0; i < r; ++i) {
-        sim::TaskId ag = graph.addTask("g" + std::to_string(i),
-                                       sim::OpType::AllGather, l_intra,
-                                       s_ag, t_ag, {dispatch[i]});
-        sim::TaskId exp = graph.addTask("e" + std::to_string(i),
-                                        sim::OpType::Experts,
+        sim::TaskId ag = graph.addTask({"g", i}, sim::OpType::AllGather,
+                                       l_intra, s_ag, t_ag, {dispatch[i]});
+        sim::TaskId exp = graph.addTask({"e", i}, sim::OpType::Experts,
                                         sim::Link::Compute, s_comp, t_exp,
                                         {ag});
-        sim::TaskId rs = graph.addTask("s" + std::to_string(i),
-                                       sim::OpType::ReduceScatter, l_intra,
-                                       s_rs, t_rs, {exp});
-        combine[i] = graph.addTask("c" + std::to_string(i),
-                                   sim::OpType::AlltoAll, l_inter, s_comb,
-                                   t_a2a, {rs});
+        sim::TaskId rs = graph.addTask({"s", i}, sim::OpType::ReduceScatter,
+                                       l_intra, s_rs, t_rs, {exp});
+        combine[i] = graph.addTask({"c", i}, sim::OpType::AlltoAll, l_inter,
+                                   s_comb, t_a2a, {rs});
     }
 
     // The inverse order waits for every combined chunk; the gradient

@@ -193,6 +193,15 @@ sim::TaskId appendAttention(sim::TaskGraph &graph, const LayerCost &lc,
                             Phase phase, const PipelineBuildOptions &opts,
                             sim::TaskId dep);
 
+/**
+ * Reserve @p graph's task vector and dependency pool for one full
+ * iteration (forward + backward) of @p num_layers layers at pipeline
+ * degrees up to @p r_max. Call once per build, before appending —
+ * over-estimating is fine, repeated exact-fit reserves are not (they
+ * degrade vector growth to quadratic copying).
+ */
+void reserveIteration(sim::TaskGraph &graph, size_t num_layers, int r_max);
+
 /** Build backward-order generalized layers for the grad partitioner. */
 std::vector<GeneralizedLayer> makeGeneralizedLayers(const ModelCost &model);
 

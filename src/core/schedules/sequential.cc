@@ -51,6 +51,7 @@ class DsMoeSchedule : public Schedule
         }
 
         sim::TaskGraph graph;
+        reserveIteration(graph, priced.layers.size(), 1);
         PipelineBuildOptions opts;
         opts.sequential = true;
         opts.mergeCommLinks = true;

@@ -60,6 +60,7 @@ class TutelSchedule : public Schedule
     buildWithDegree(const ModelCost &model, int r) const
     {
         sim::TaskGraph graph;
+        reserveIteration(graph, model.layers.size(), r);
         PipelineBuildOptions opts;
         opts.mergeCommLinks = true;
 
@@ -70,6 +71,7 @@ class TutelSchedule : public Schedule
                                  r, opts, dep);
         }
         std::vector<sim::TaskId> gar_tasks;
+        gar_tasks.reserve(4 * model.layers.size() + 1);
         for (auto it = model.layers.rbegin(); it != model.layers.rend();
              ++it) {
             dep = appendMoePhase(graph, *it, model.models, Phase::Backward,

@@ -1,0 +1,186 @@
+#include "core/solver_cache.h"
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace fsmoe::core {
+
+namespace {
+
+/// Entry-count ceiling per cache; a full cache is dropped wholesale.
+/// Keys are distinct solver inputs, so ordinary sweeps stay far below
+/// this — the cap only guards pathological never-repeating workloads
+/// from unbounded growth.
+constexpr size_t kMaxEntries = 1 << 18;
+
+void
+appendBits(std::string &key, double v)
+{
+    char raw[sizeof v];
+    std::memcpy(raw, &v, sizeof v);
+    key.append(raw, sizeof raw);
+}
+
+void
+appendBits(std::string &key, int64_t v)
+{
+    char raw[sizeof v];
+    std::memcpy(raw, &v, sizeof v);
+    key.append(raw, sizeof raw);
+}
+
+void
+appendTaskModel(std::string &key, const TaskModel &m)
+{
+    appendBits(key, m.alpha);
+    appendBits(key, m.beta);
+    appendBits(key, m.n);
+}
+
+void
+appendProblem(std::string &key, const PipelineProblem &p)
+{
+    appendTaskModel(key, p.a2a);
+    appendTaskModel(key, p.ag);
+    appendTaskModel(key, p.rs);
+    appendTaskModel(key, p.exp);
+    appendBits(key, p.tGar);
+    appendBits(key, static_cast<int64_t>(p.rMax));
+}
+
+struct Timer
+{
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+
+    double elapsedMs() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    }
+};
+
+std::mutex mu;
+std::unordered_map<std::string, std::shared_ptr<const PipelineSolution>>
+    pipeline_cache;
+std::unordered_map<std::string, std::shared_ptr<const GradPartitionPlan>>
+    partition_cache;
+SolverCacheStats stats;
+
+/**
+ * Shared lookup/compute/store protocol. Values are held by shared_ptr
+ * so a hit only copies a pointer under the lock — the (potentially
+ * multi-vector) value itself is copied for the caller outside the
+ * critical section, and stays valid even if the cache is cleared
+ * concurrently. The solve also runs outside the lock; concurrent cold
+ * misses on one key may duplicate work but always store identical
+ * values.
+ */
+template <typename Map, typename Solve>
+auto
+memoized(Map &cache, const std::string &key, uint64_t SolverCacheStats::*hit,
+         uint64_t SolverCacheStats::*miss, Solve &&solve)
+{
+    typename Map::mapped_type entry;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = cache.find(key);
+        if (it != cache.end()) {
+            stats.*hit += 1;
+            entry = it->second;
+        } else {
+            stats.*miss += 1;
+        }
+    }
+    if (entry != nullptr)
+        return *entry;
+    Timer timer;
+    auto value = std::make_shared<
+        typename Map::mapped_type::element_type>(solve());
+    const double ms = timer.elapsedMs();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stats.solveMs += ms;
+        if (cache.size() >= kMaxEntries)
+            cache.clear();
+        cache.emplace(key, value);
+    }
+    return *value;
+}
+
+} // namespace
+
+PipelineSolution
+cachedSolvePipeline(const PipelineProblem &p)
+{
+    std::string key(1, 'S');
+    appendProblem(key, p);
+    return memoized(pipeline_cache, key, &SolverCacheStats::pipelineHits,
+                    &SolverCacheStats::pipelineMisses,
+                    [&] { return solvePipeline(p); });
+}
+
+PipelineSolution
+cachedSolvePipelineMerged(const PipelineProblem &p)
+{
+    std::string key(1, 'M');
+    appendProblem(key, p);
+    return memoized(pipeline_cache, key, &SolverCacheStats::pipelineHits,
+                    &SolverCacheStats::pipelineMisses,
+                    [&] { return solvePipelineMerged(p); });
+}
+
+GradPartitionPlan
+cachedPartitionGradients(const std::vector<GeneralizedLayer> &layers,
+                         const LinearModel &allreduce,
+                         const solver::DeConfig &de, bool enable_step2,
+                         bool merged_channel)
+{
+    std::string key(1, 'P');
+    key.reserve(2 + layers.size() * 16 * sizeof(double));
+    appendBits(key, static_cast<int64_t>(layers.size()));
+    for (const GeneralizedLayer &gl : layers) {
+        appendProblem(key, gl.moe);
+        appendBits(key, gl.denseOlpMs);
+        appendBits(key, gl.gradBytes);
+    }
+    appendBits(key, allreduce.alpha);
+    appendBits(key, allreduce.beta);
+    appendBits(key, static_cast<int64_t>(de.populationSize));
+    appendBits(key, static_cast<int64_t>(de.maxGenerations));
+    appendBits(key, de.weight);
+    appendBits(key, de.crossover);
+    appendBits(key, static_cast<int64_t>(de.seed));
+    appendBits(key, de.tolerance);
+    key.push_back(enable_step2 ? '1' : '0');
+    key.push_back(merged_channel ? '1' : '0');
+    return memoized(partition_cache, key, &SolverCacheStats::partitionHits,
+                    &SolverCacheStats::partitionMisses, [&] {
+                        return partitionGradients(layers, allreduce, de,
+                                                  enable_step2,
+                                                  merged_channel);
+                    });
+}
+
+SolverCacheStats
+solverCacheStats()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return stats;
+}
+
+void
+clearSolverCaches()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    pipeline_cache.clear();
+    partition_cache.clear();
+    stats = SolverCacheStats{};
+}
+
+} // namespace fsmoe::core

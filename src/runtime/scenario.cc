@@ -269,6 +269,42 @@ parseShardSpec(const std::string &text, ShardSpec *spec)
 }
 
 std::vector<Scenario>
+demoGrid(const std::vector<int64_t> &batches,
+         const std::vector<std::string> &schedules)
+{
+    // Sequence lengths follow the paper's per-testbed settings
+    // (L = 1024 on Testbed A, 256 on B), so build one sub-grid per
+    // cluster and concatenate.
+    auto a = ScenarioGrid()
+                 .models({"gpt2xl-moe", "mixtral-7b"})
+                 .clusters({"testbedA"})
+                 .seqLens({1024})
+                 .batches(batches)
+                 .schedules(schedules)
+                 .build();
+    auto b = ScenarioGrid()
+                 .models({"gpt2xl-moe", "mixtral-7b"})
+                 .clusters({"testbedB"})
+                 .seqLens({256})
+                 .batches(batches)
+                 .schedules(schedules)
+                 .build();
+    a.insert(a.end(), b.begin(), b.end());
+    if (schedules.empty()) {
+        auto degrees = ScenarioGrid()
+                           .models({"gpt2xl-moe"})
+                           .clusters({"testbedA"})
+                           .seqLens({1024})
+                           .batches(batches)
+                           .schedules({"tutel?degree=2", "tutel?degree=4",
+                                       "tutel?degree=8"})
+                           .build();
+        a.insert(a.end(), degrees.begin(), degrees.end());
+    }
+    return a;
+}
+
+std::vector<Scenario>
 shardScenarios(const std::vector<Scenario> &scenarios,
                const ShardSpec &shard)
 {

@@ -147,6 +147,20 @@ class ScenarioGrid
 };
 
 /**
+ * The demo grid shared by fsmoe_sweep and the blessed cross-PR
+ * baseline (bench/baselines/demo_grid.json): both paper testbeds, two
+ * models, every registered schedule — plus, when @p schedules is
+ * empty, a parameterized tutel?degree={2,4,8} sub-grid on Testbed A so
+ * schedule variants are exercised as sweep axes. Keeping the
+ * definition here means the CI baseline diff and the in-tree
+ * regression test (tests/demo_grid_baseline_test.cc) can never drift
+ * from what the CLI sweeps.
+ */
+std::vector<Scenario>
+demoGrid(const std::vector<int64_t> &batches = {1, 2},
+         const std::vector<std::string> &schedules = {});
+
+/**
  * One process's share of a sweep: shard @p index of @p count
  * (1-based, "K/N" on the CLI).
  */

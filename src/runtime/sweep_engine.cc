@@ -50,8 +50,15 @@ SweepEngine::costFor(const Scenario &s)
     if (hit.valid())
         return hit.get(); // may wait on the in-flight computing worker
     try {
+        const auto c0 = std::chrono::steady_clock::now();
         auto cost = std::make_shared<const core::ModelCost>(
             ScenarioRegistry::instance().makeCost(s));
+        const auto c1 = std::chrono::steady_clock::now();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stats_.costDeriveMs +=
+                std::chrono::duration<double, std::milli>(c1 - c0).count();
+        }
         promise.set_value(cost);
         return cost;
     } catch (...) {
@@ -91,9 +98,8 @@ SweepEngine::simFor(const Scenario &s,
     if (hit.valid())
         return hit.get(); // may wait on the in-flight computing worker
     try {
-        auto schedule = core::Schedule::create(s.schedule);
         auto result = std::make_shared<const sim::SimResult>(
-            schedule->simulate(*cost));
+            timedSimulate(s, *cost));
         promise.set_value(result);
         return result;
     } catch (...) {
@@ -104,6 +110,28 @@ SweepEngine::simFor(const Scenario &s,
         }
         throw;
     }
+}
+
+sim::SimResult
+SweepEngine::timedSimulate(const Scenario &s, const core::ModelCost &cost,
+                           sim::TaskGraph *graph_out)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    auto schedule = core::Schedule::create(s.schedule);
+    sim::TaskGraph graph = schedule->build(cost);
+    const auto t1 = std::chrono::steady_clock::now();
+    sim::SimResult result = sim::Simulator{}.run(graph);
+    const auto t2 = std::chrono::steady_clock::now();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.graphBuildMs +=
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        stats_.simulateMs +=
+            std::chrono::duration<double, std::milli>(t2 - t1).count();
+    }
+    if (graph_out != nullptr)
+        *graph_out = std::move(graph);
+    return result;
 }
 
 std::vector<ScenarioResult>
@@ -125,13 +153,11 @@ SweepEngine::run(const std::vector<Scenario> &scenarios)
                 if (options_.keepGraphs) {
                     // Graphs are not cached; simulate directly so the
                     // retained graph matches the returned timings.
-                    auto schedule = core::Schedule::create(s.schedule);
-                    out.sim = schedule->simulate(*cost, &out.graph);
+                    out.sim = timedSimulate(s, *cost, &out.graph);
                 } else if (options_.enableSimCache) {
                     out.sim = *simFor(s, cost);
                 } else {
-                    auto schedule = core::Schedule::create(s.schedule);
-                    out.sim = schedule->simulate(*cost);
+                    out.sim = timedSimulate(s, *cost);
                 }
                 out.makespanMs = out.sim.makespan;
             }));

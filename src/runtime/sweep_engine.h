@@ -76,6 +76,16 @@ struct SweepStats
     size_t simCacheHits = 0;
     size_t simCacheMisses = 0;
     double lastSweepWallMs = 0.0;
+
+    // Per-stage wall time, summed across workers (so on N threads the
+    // stages can add up to ~N x lastSweepWallMs). Only cache-miss work
+    // is counted — a cache hit contributes nothing. Graph build
+    // includes everything a Schedule::build does: solver calls and
+    // in-schedule degree-search simulations (see core::solverCacheStats
+    // for the solver share). Feeds `fsmoe_sweep --profile`.
+    double costDeriveMs = 0.0; ///< Cold ModelCost derivations.
+    double graphBuildMs = 0.0; ///< Schedule create + build.
+    double simulateMs = 0.0;   ///< Simulator::run on built graphs.
 };
 
 class SweepEngine
@@ -115,6 +125,15 @@ class SweepEngine
      */
     std::shared_ptr<const sim::SimResult>
     simFor(const Scenario &s, const std::shared_ptr<const core::ModelCost> &cost);
+
+    /**
+     * Build @p s's schedule graph and simulate it, charging the two
+     * stages to SweepStats::graphBuildMs / simulateMs. With
+     * @p graph_out the built graph is retained (the keepGraphs path).
+     */
+    sim::SimResult timedSimulate(const Scenario &s,
+                                 const core::ModelCost &cost,
+                                 sim::TaskGraph *graph_out = nullptr);
 
     SweepOptions options_;
     mutable std::mutex mu_;

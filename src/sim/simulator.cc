@@ -8,20 +8,26 @@
 
 namespace fsmoe::sim {
 
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/** Mutable per-task execution state. */
-struct TaskState
-{
-    int pendingDeps = 0;
-    double readyTime = 0.0; ///< Max finish time over dependencies so far.
-    bool started = false;
-    bool finished = false;
-};
-
-} // namespace
+/*
+ * The inner loop maintains per-link binary heaps of *issuable*
+ * candidates — stream heads whose dependencies have all finished —
+ * ordered by the arbitration key (priority, readyTime, issue id).
+ * When a task finishes, only its dependents are examined; when a task
+ * starts, only the new head of its stream is. That replaces the naive
+ * O(links x streams) rescan per event with O(log n) heap maintenance
+ * while reproducing the naive scan's choices bit-exactly (the fuzz
+ * test in tests/sim_fuzz_test.cc checks this against the retained
+ * reference implementation in tests/sim_reference.h).
+ *
+ * Why every heap entry is eligible *now*: a task's readyTime is the
+ * max finish time over its dependencies, which is fixed by the time
+ * the last dependency completes — an event at or before the current
+ * clock. A task enters a heap only once it is the head of its stream
+ * with zero pending dependencies, so readyTime <= now holds at
+ * insertion and forever after (the clock never rewinds). The naive
+ * scan's `readyTime > now` filter is therefore vacuous, and the heap
+ * minimum *is* the task the scan would have picked.
+ */
 
 SimResult
 Simulator::run(const TaskGraph &graph) const
@@ -33,76 +39,123 @@ Simulator::run(const TaskGraph &graph) const
     if (n == 0)
         return result;
 
-    std::vector<TaskState> state(n);
-    std::vector<std::vector<TaskId>> dependents(n);
+    // Mutable per-task state, flat (one allocation each, not per task).
+    std::vector<int32_t> pending(n);
+    std::vector<double> ready(n, 0.0);
+    std::vector<uint8_t> finished(n, 0);
+
+    // Reverse CSR: dependents of each task, built by counting sort
+    // over the graph's flat dependency pool.
+    std::vector<uint32_t> rev_off(n + 1, 0);
     for (const Task &t : tasks) {
-        state[t.id].pendingDeps = static_cast<int>(t.deps.size());
-        for (TaskId d : t.deps)
-            dependents[d].push_back(t.id);
+        pending[t.id] = static_cast<int32_t>(t.depCount);
+        for (TaskId d : graph.deps(t.id))
+            rev_off[static_cast<size_t>(d) + 1]++;
+    }
+    for (size_t i = 0; i < n; ++i)
+        rev_off[i + 1] += rev_off[i];
+    std::vector<TaskId> rev(graph.numDeps());
+    {
+        std::vector<uint32_t> cursor(rev_off.begin(), rev_off.end() - 1);
+        for (const Task &t : tasks)
+            for (TaskId d : graph.deps(t.id))
+                rev[cursor[d]++] = t.id;
     }
 
-    // Per-stream FIFO issue queues in addTask order.
-    std::vector<std::vector<TaskId>> streams(graph.numStreams());
+    // Stream CSR: per-stream FIFO issue queues in addTask order;
+    // head[s] is an absolute cursor into str_tasks.
+    const int num_streams = graph.numStreams();
+    std::vector<uint32_t> str_off(num_streams + 1, 0);
     for (const Task &t : tasks)
-        streams[t.stream].push_back(t.id);
-    std::vector<size_t> head(graph.numStreams(), 0);
+        str_off[t.stream + 1]++;
+    for (int s = 0; s < num_streams; ++s)
+        str_off[s + 1] += str_off[s];
+    std::vector<TaskId> str_tasks(n);
+    std::vector<uint32_t> head(str_off.begin(), str_off.end() - 1);
+    for (const Task &t : tasks)
+        str_tasks[head[t.stream]++] = t.id;
+    std::copy(str_off.begin(), str_off.end() - 1, head.begin());
+
+    // Per-link candidate heaps. Entries carry their full arbitration
+    // key so comparisons never chase back into the task array, and
+    // std::push_heap keeps the *largest* element at the front, so the
+    // comparator inverts the key: smallest (priority, readyTime, id)
+    // wins the link.
+    struct Cand
+    {
+        double ready;
+        int32_t priority;
+        TaskId id;
+    };
+    auto heap_after = [](const Cand &a, const Cand &b) {
+        if (a.priority != b.priority)
+            return a.priority > b.priority;
+        if (a.ready != b.ready)
+            return a.ready > b.ready;
+        return a.id > b.id;
+    };
+    std::array<std::vector<Cand>, static_cast<size_t>(Link::NumLinks)>
+        cands;
+    auto push_cand = [&](TaskId id) {
+        const Task &t = tasks[id];
+        auto &h = cands[static_cast<size_t>(t.link)];
+        h.push_back({ready[id], t.priority, id});
+        std::push_heap(h.begin(), h.end(), heap_after);
+    };
+
+    // A task is issuable iff it is its stream's current head and has
+    // no pending dependencies; it enters its link's heap exactly once,
+    // at whichever of the two conditions becomes true last.
+    auto push_if_issuable_head = [&](int s) {
+        if (head[s] < str_off[s + 1]) {
+            TaskId id = str_tasks[head[s]];
+            if (pending[id] == 0)
+                push_cand(id);
+        }
+    };
+    for (int s = 0; s < num_streams; ++s)
+        push_if_issuable_head(s);
 
     std::array<double, static_cast<size_t>(Link::NumLinks)> link_free{};
     link_free.fill(0.0);
 
-    // Completion events ordered by time.
+    // Completion events ordered by (time, issue id).
     using Event = std::pair<double, TaskId>;
     std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
 
     size_t finished_count = 0;
     double now = 0.0;
 
+    auto start_best = [&](size_t li) {
+        auto &h = cands[li];
+        if (h.empty())
+            return false;
+        std::pop_heap(h.begin(), h.end(), heap_after);
+        TaskId id = h.back().id;
+        h.pop_back();
+        const Task &t = tasks[id];
+        double finish = now + t.duration;
+        result.trace[id] = {id, now, finish};
+        link_free[li] = finish;
+        events.emplace(finish, id);
+        head[t.stream]++;
+        push_if_issuable_head(t.stream);
+        return true;
+    };
+
     auto try_start = [&]() {
         // Keep starting tasks until no link can accept one at `now`.
+        // Pass structure (links in index order, at most one start per
+        // link per pass) matches the reference scan, so the start
+        // sequence — and with it every timestamp — is identical.
         bool progressed = true;
         while (progressed) {
             progressed = false;
             for (size_t li = 0; li < link_free.size(); ++li) {
                 if (link_free[li] > now)
                     continue;
-                // Eligible = head of its stream, deps done, wants link li.
-                // Pick by priority class first (background traffic such
-                // as gradient AllReduce yields), then earliest-ready,
-                // then issue order.
-                TaskId best = -1;
-                double best_ready = kInf;
-                int best_prio = std::numeric_limits<int>::max();
-                for (int s = 0; s < graph.numStreams(); ++s) {
-                    if (head[s] >= streams[s].size())
-                        continue;
-                    TaskId id = streams[s][head[s]];
-                    const Task &t = tasks[id];
-                    if (static_cast<size_t>(t.link) != li)
-                        continue;
-                    const TaskState &st = state[id];
-                    if (st.pendingDeps > 0 || st.readyTime > now)
-                        continue;
-                    bool better = t.priority < best_prio ||
-                                  (t.priority == best_prio &&
-                                   (st.readyTime < best_ready ||
-                                    (st.readyTime == best_ready &&
-                                     (best == -1 || id < best))));
-                    if (better) {
-                        best_prio = t.priority;
-                        best_ready = st.readyTime;
-                        best = id;
-                    }
-                }
-                if (best < 0)
-                    continue;
-                const Task &t = tasks[best];
-                double finish = now + t.duration;
-                state[best].started = true;
-                result.trace[best] = {best, now, finish};
-                link_free[li] = finish;
-                head[t.stream]++;
-                events.emplace(finish, best);
-                progressed = true;
+                if (start_best(li))
+                    progressed = true;
             }
         }
     };
@@ -115,17 +168,21 @@ Simulator::run(const TaskGraph &graph) const
         auto [t_now, id] = events.top();
         events.pop();
         now = t_now;
-        if (state[id].finished)
+        if (finished[id])
             continue;
-        state[id].finished = true;
+        finished[id] = 1;
         finished_count++;
         result.opTime[static_cast<size_t>(tasks[id].op)] +=
             tasks[id].duration;
         result.makespan = std::max(result.makespan, t_now);
-        for (TaskId dep : dependents[id]) {
-            TaskState &ds = state[dep];
-            ds.pendingDeps--;
-            ds.readyTime = std::max(ds.readyTime, t_now);
+        for (uint32_t e = rev_off[id]; e < rev_off[id + 1]; ++e) {
+            TaskId dep = rev[e];
+            ready[dep] = std::max(ready[dep], t_now);
+            if (--pending[dep] == 0) {
+                int s = tasks[dep].stream;
+                if (head[s] < str_off[s + 1] && str_tasks[head[s]] == dep)
+                    push_cand(dep);
+            }
         }
         try_start();
     }
@@ -144,11 +201,16 @@ Simulator::gantt(const TaskGraph &graph, const SimResult &result, int columns)
             if (t.stream != s || t.duration <= 0.0)
                 continue;
             const TaskTrace &tr = result.trace[t.id];
+            // Truncate both ends consistently, clamp into the axis,
+            // and force c1 >= c0 so every executed task renders at
+            // least one cell (a task starting at the makespan lands
+            // in the last column instead of vanishing).
             int c0 = static_cast<int>(tr.start / span * (columns - 1));
             int c1 = static_cast<int>(tr.finish / span * (columns - 1));
-            char glyph = t.name.empty() ? '#' : t.name[0];
-            for (int c = c0; c <= c1 && c < columns; ++c)
-                row[c] = glyph;
+            c0 = std::clamp(c0, 0, columns - 1);
+            c1 = std::clamp(c1, c0, columns - 1);
+            for (int c = c0; c <= c1; ++c)
+                row[c] = t.label.glyph();
         }
         oss << "stream " << s << " |" << row << "|\n";
     }

@@ -12,8 +12,22 @@
  *      overlap, which is the contention rule FSMoE's schedule is
  *      designed around.
  *   4. Among simultaneously eligible tasks competing for a free link,
- *      the one that became ready earliest starts first (ties broken by
- *      issue order), which makes simulation deterministic.
+ *      arbitration is by the key (priority class, readiness time,
+ *      issue id), smallest first: background traffic (larger priority
+ *      values) yields, then the task that became ready earliest wins,
+ *      then issue order breaks exact ties. This total order makes
+ *      simulation deterministic — bit-identical across runs, thread
+ *      counts, and processes (see docs/PERFORMANCE.md for the full
+ *      determinism contract).
+ *
+ * Complexity: O((n + e) log n) for n tasks and e dependency edges.
+ * Eligibility is maintained incrementally in per-link heaps ordered by
+ * the arbitration key — a completion event touches only the finished
+ * task's dependents and the freed streams' new heads, never the whole
+ * stream set (the pre-optimisation loop rescanned every stream for
+ * every link on every event, O(events x links x streams); it survives
+ * as the reference implementation in tests/sim_reference.h and is the
+ * baseline bench_sim_hotpath measures speedup against).
  */
 #ifndef FSMOE_SIM_SIMULATOR_H
 #define FSMOE_SIM_SIMULATOR_H

@@ -1,5 +1,7 @@
 #include "sim/task_graph.h"
 
+#include <algorithm>
+
 namespace fsmoe::sim {
 
 const char *
@@ -20,27 +22,30 @@ opTypeName(OpType t)
 }
 
 TaskId
-TaskGraph::addTask(std::string name, OpType op, Link link, int stream,
-                   double duration, std::vector<TaskId> deps, int priority)
+TaskGraph::addTaskImpl(TaskLabel label, OpType op, Link link, int stream,
+                       double duration, const TaskId *deps, size_t n_deps,
+                       int priority)
 {
-    FSMOE_CHECK_ARG(duration >= 0.0, "task '", name,
+    FSMOE_CHECK_ARG(duration >= 0.0, "task '", label.str(),
                     "' has negative duration ", duration);
     FSMOE_CHECK_ARG(stream >= 0, "negative stream index");
     TaskId id = static_cast<TaskId>(tasks_.size());
-    for (TaskId d : deps) {
-        FSMOE_CHECK_ARG(d >= 0 && d < id, "task '", name,
-                        "' depends on unknown task ", d);
+    for (size_t i = 0; i < n_deps; ++i) {
+        FSMOE_CHECK_ARG(deps[i] >= 0 && deps[i] < id, "task '",
+                        label.str(), "' depends on unknown task ", deps[i]);
     }
     Task t;
     t.id = id;
-    t.name = std::move(name);
     t.op = op;
     t.link = link;
     t.stream = stream;
     t.duration = duration;
     t.priority = priority;
-    t.deps = std::move(deps);
-    tasks_.push_back(std::move(t));
+    t.label = label;
+    t.depBegin = static_cast<uint32_t>(dep_pool_.size());
+    t.depCount = static_cast<uint32_t>(n_deps);
+    dep_pool_.insert(dep_pool_.end(), deps, deps + n_deps);
+    tasks_.push_back(t);
     num_streams_ = std::max(num_streams_, stream + 1);
     return id;
 }

@@ -7,11 +7,21 @@
  * intra-node fabric, or GPU compute) and a *stream* (a FIFO issue
  * queue, the software-visible CUDA-stream analogue). Dependencies
  * express data flow, e.g. expert(i) needs ESP-AllGather(i).
+ *
+ * The representation is allocation-light by design: sweeps build and
+ * simulate millions of short-lived graphs, so the per-task cost must
+ * not include heap traffic. Tasks are PODs in one contiguous vector,
+ * dependency lists live in a single flat pool addressed CSR-style by
+ * (offset, count), and labels are lazy — a TaskLabel is a pointer to a
+ * static string plus an optional numeric suffix, materialised into a
+ * std::string only when a trace/gantt/Chrome exporter actually asks
+ * for the name (see docs/PERFORMANCE.md).
  */
 #ifndef FSMOE_SIM_TASK_GRAPH_H
 #define FSMOE_SIM_TASK_GRAPH_H
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -49,19 +59,72 @@ enum class Link
 /** Identifier of a task inside one TaskGraph. */
 using TaskId = int32_t;
 
-/** One schedulable unit of work. */
+/**
+ * Lazy task label: a static base string plus an optional decimal
+ * suffix, e.g. {"d", 3} names the task "d3". Building a graph never
+ * allocates or formats the name — str() does, and only the trace,
+ * gantt, and Chrome exporters call it.
+ *
+ * @p base must outlive the graph; pass string literals (what all
+ * builders do). The implicit const char* conversion keeps
+ * addTask("routing", ...) call sites reading naturally.
+ */
+struct TaskLabel
+{
+    const char *base = ""; ///< Static-storage label text.
+    int32_t index = -1;    ///< Decimal suffix appended when >= 0.
+
+    TaskLabel() = default;
+    TaskLabel(const char *b) : base(b) {} // NOLINT: implicit by design
+    TaskLabel(const char *b, int32_t i) : base(b), index(i) {}
+
+    /** Materialise the full name (allocates; exporter-only path). */
+    std::string str() const
+    {
+        return index >= 0 ? base + std::to_string(index) : base;
+    }
+
+    /** First character, for the ASCII gantt ('#' when empty). */
+    char glyph() const { return base[0] == '\0' ? '#' : base[0]; }
+};
+
+/**
+ * One schedulable unit of work. Dependencies are not stored inline —
+ * they live in the owning TaskGraph's flat pool; use TaskGraph::deps().
+ */
 struct Task
 {
     TaskId id = -1;
-    std::string name;        ///< Human-readable label for traces.
     OpType op = OpType::Other;
     Link link = Link::Compute;
     int stream = 0;          ///< FIFO issue queue index.
-    double duration = 0.0;   ///< Service time in milliseconds.
     int priority = 0;        ///< Link arbitration class; higher values
                              ///< yield to lower ones (background
                              ///< traffic such as gradient AllReduce).
-    std::vector<TaskId> deps; ///< Tasks that must finish first.
+    double duration = 0.0;   ///< Service time in milliseconds.
+    TaskLabel label;         ///< Lazy trace label.
+    uint32_t depBegin = 0;   ///< Offset into the graph's dep pool.
+    uint32_t depCount = 0;   ///< Number of dependencies.
+
+    /** Materialised trace label (allocates; exporter-only path). */
+    std::string name() const { return label.str(); }
+};
+
+/** Non-owning view of one task's dependency list. */
+class DepSpan
+{
+  public:
+    DepSpan(const TaskId *data, size_t size) : data_(data), size_(size) {}
+
+    const TaskId *begin() const { return data_; }
+    const TaskId *end() const { return data_ + size_; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    TaskId operator[](size_t i) const { return data_[i]; }
+
+  private:
+    const TaskId *data_;
+    size_t size_;
 };
 
 /**
@@ -74,7 +137,7 @@ class TaskGraph
     /**
      * Append a task.
      *
-     * @param name     Trace label.
+     * @param label    Lazy trace label (base must be a static string).
      * @param op       Operation class (for per-op accounting).
      * @param link     Physical resource the task occupies.
      * @param stream   FIFO issue queue.
@@ -85,20 +148,63 @@ class TaskGraph
      *                 smaller values.
      * @return         Id of the new task.
      */
-    TaskId addTask(std::string name, OpType op, Link link, int stream,
-                   double duration, std::vector<TaskId> deps = {},
-                   int priority = 0);
+    TaskId addTask(TaskLabel label, OpType op, Link link, int stream,
+                   double duration, std::initializer_list<TaskId> deps = {},
+                   int priority = 0)
+    {
+        return addTaskImpl(label, op, link, stream, duration, deps.begin(),
+                           deps.size(), priority);
+    }
+
+    /** Overload for dynamically built dependency lists. */
+    TaskId addTask(TaskLabel label, OpType op, Link link, int stream,
+                   double duration, const std::vector<TaskId> &deps,
+                   int priority = 0)
+    {
+        return addTaskImpl(label, op, link, stream, duration, deps.data(),
+                           deps.size(), priority);
+    }
+
+    /**
+     * Pre-size the task vector and dependency pool. Call once per
+     * build with (over-)estimates; repeated exact-fit reserves would
+     * degrade push_back growth to quadratic copying.
+     */
+    void reserve(size_t tasks, size_t deps)
+    {
+        tasks_.reserve(tasks);
+        dep_pool_.reserve(deps);
+    }
 
     const std::vector<Task> &tasks() const { return tasks_; }
     const Task &task(TaskId id) const;
+
+    /** The dependency list of @p id (view into the flat pool). */
+    DepSpan deps(TaskId id) const
+    {
+        const Task &t = task(id);
+        return {dep_pool_.data() + t.depBegin, t.depCount};
+    }
+
+    /** Materialised label of @p id (allocates; exporter-only path). */
+    std::string taskName(TaskId id) const { return task(id).name(); }
+
     size_t size() const { return tasks_.size(); }
     bool empty() const { return tasks_.empty(); }
+
+    /** Total dependency-edge count across all tasks. */
+    size_t numDeps() const { return dep_pool_.size(); }
 
     /** Highest stream index used plus one. */
     int numStreams() const { return num_streams_; }
 
   private:
+    TaskId addTaskImpl(TaskLabel label, OpType op, Link link, int stream,
+                       double duration, const TaskId *deps, size_t n_deps,
+                       int priority);
+
     std::vector<Task> tasks_;
+    std::vector<TaskId> dep_pool_; ///< All tasks' deps, CSR-flattened.
     int num_streams_ = 0;
 };
 

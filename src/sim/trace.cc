@@ -28,7 +28,7 @@ traceEvents(const TaskGraph &graph, const SimResult &result)
         const Task &task = graph.task(tt.id);
         TraceEvent ev;
         ev.id = tt.id;
-        ev.name = task.name;
+        ev.name = task.name();
         ev.op = task.op;
         ev.link = task.link;
         ev.stream = task.stream;

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Cross-PR bit-exactness gate, in-tree: sweeping the demo grid must
+ * serialise to the exact bytes of the blessed baseline
+ * (bench/baselines/demo_grid.json). CI runs the same check through
+ * fsmoe_diff; this test makes the guarantee enforceable from a bare
+ * `ctest`, so a simulator or schedule change that moves any simulated
+ * number fails locally before a PR is even drafted. Regenerate the
+ * baseline deliberately (`fsmoe_sweep --out-json
+ * bench/baselines/demo_grid.json`) when a change is *supposed* to move
+ * the numbers.
+ *
+ * The baseline path is compiled in from CMake (FSMOE_DEMO_BASELINE),
+ * so the test is independent of the ctest working directory.
+ */
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "runtime/result_store.h"
+#include "runtime/scenario.h"
+#include "runtime/sweep_engine.h"
+
+namespace fsmoe::runtime {
+namespace {
+
+TEST(DemoGridBaseline, SweepIsByteIdenticalToBlessedBaseline)
+{
+    std::ifstream in(FSMOE_DEMO_BASELINE, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "cannot open baseline " FSMOE_DEMO_BASELINE;
+    const std::string baseline((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+
+    SweepEngine engine({/*numThreads=*/1});
+    const std::string current =
+        toJson(toSweepResults(engine.run(demoGrid())));
+
+    ASSERT_EQ(current.size(), baseline.size())
+        << "demo-grid sweep serialised to a different length than the "
+           "baseline — the optimization moved simulated numbers";
+    EXPECT_TRUE(current == baseline)
+        << "demo-grid sweep bytes differ from " FSMOE_DEMO_BASELINE;
+}
+
+} // namespace
+} // namespace fsmoe::runtime

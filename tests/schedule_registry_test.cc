@@ -281,7 +281,7 @@ countTasks(const sim::TaskGraph &graph, const std::string &prefix)
 {
     size_t n = 0;
     for (const sim::Task &t : graph.tasks())
-        n += t.name.compare(0, prefix.size(), prefix) == 0 ? 1 : 0;
+        n += t.name().compare(0, prefix.size(), prefix) == 0 ? 1 : 0;
     return n;
 }
 

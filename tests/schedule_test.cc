@@ -157,7 +157,7 @@ TEST(Schedules, NoIioKeepsCommOnOneChannel)
     sim::TaskGraph graph = Schedule::create("no-iio")->build(cost);
     for (const sim::Task &t : graph.tasks())
         EXPECT_NE(t.link, sim::Link::IntraNode)
-            << "No-IIO must serialise " << t.name
+            << "No-IIO must serialise " << t.name()
             << " on the inter-node channel";
 }
 

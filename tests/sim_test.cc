@@ -20,7 +20,11 @@ TEST(TaskGraph, AddAndQuery)
     TaskId b = g.addTask("b", OpType::AlltoAll, Link::InterNode, 1, 2.0,
                          {a});
     EXPECT_EQ(g.size(), 2u);
-    EXPECT_EQ(g.task(b).deps.size(), 1u);
+    EXPECT_EQ(g.deps(b).size(), 1u);
+    EXPECT_EQ(g.deps(b)[0], a);
+    EXPECT_EQ(g.deps(a).size(), 0u);
+    EXPECT_EQ(g.numDeps(), 1u);
+    EXPECT_EQ(g.taskName(a), "a");
     EXPECT_EQ(g.numStreams(), 2);
 }
 
@@ -164,6 +168,29 @@ TEST(Simulator, GanttRendersAllStreams)
     EXPECT_NE(chart.find("stream 1"), std::string::npos);
     EXPECT_NE(chart.find('a'), std::string::npos);
     EXPECT_NE(chart.find('b'), std::string::npos);
+}
+
+TEST(Simulator, GanttClampsEveryTaskIntoTheAxis)
+{
+    // A short task whose whole extent lies at the very end of the
+    // span: its start maps to the last column, where unclamped
+    // truncation used to let it vanish. Every positive-duration task
+    // must paint at least one cell, and rows must stay exactly
+    // `columns` wide.
+    const int columns = 20;
+    TaskGraph g;
+    TaskId bulk = g.addTask("b", OpType::Experts, Link::Compute, 0, 100.0);
+    g.addTask("z", OpType::AlltoAll, Link::InterNode, 1, 1e-9, {bulk});
+    SimResult r = Simulator{}.run(g);
+    std::string chart = Simulator::gantt(g, r, columns);
+
+    EXPECT_NE(chart.find('b'), std::string::npos);
+    EXPECT_NE(chart.find('z'), std::string::npos) << chart;
+    // The tail task renders in the final column of its row.
+    const size_t row1 = chart.find("stream 1 |");
+    ASSERT_NE(row1, std::string::npos);
+    EXPECT_EQ(chart[row1 + 10 + columns - 1], 'z') << chart;
+    EXPECT_EQ(chart[row1 + 10 + columns], '|') << chart;
 }
 
 TEST(Cluster, TestbedSpecsMatchPaper)
