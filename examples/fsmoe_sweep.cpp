@@ -34,8 +34,22 @@
  *   --no-sim-cache   disable the (costKey, schedule) SimResult cache
  *   --profile        print a per-stage wall-time breakdown after the
  *                    sweep (cost derivation, graph build, solver,
- *                    simulate, caches) so perf PRs can show their
- *                    numbers; see docs/PERFORMANCE.md
+ *                    simulate, caches) plus registry-backed cache hit
+ *                    ratios and per-scenario simulate latency; see
+ *                    docs/PERFORMANCE.md
+ *   --explain WHICH  per-run analytics for one scenario of the grid:
+ *                    link utilization and the critical path with the
+ *                    reason each hop could start no earlier. WHICH is
+ *                    a scenario label (as printed by --shard /
+ *                    persisted keys) or "best" for the grid's fastest
+ *   --link-util      include per-link busy-time columns in --out-json
+ *                    / --out-csv rows (link_busy_ms object / extra
+ *                    CSV columns; readers auto-detect either shape)
+ *   --metrics-json F dump the process-wide stats registry snapshot
+ *                    (base/stats) to F after the sweep
+ *   --self-trace F   record the sweep's own execution (scenario and
+ *                    stage spans on each worker thread) as Chrome
+ *                    trace JSON into F; see docs/OBSERVABILITY.md
  *   --selftest       determinism + persistence self-checks: serial vs
  *                    4-thread bit-identity, JSON/CSV round-trip,
  *                    self-diff, and shard partition coverage; exits
@@ -45,17 +59,21 @@
 #include <cstdlib>
 #include <cstring>
 #include <algorithm>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "base/stats.h"
 #include "core/schedules/schedule_registry.h"
 #include "core/solver_cache.h"
 #include "runtime/result_store.h"
 #include "runtime/scenario.h"
+#include "runtime/self_trace.h"
 #include "runtime/sweep_engine.h"
 #include "runtime/trace_export.h"
+#include "sim/run_report.h"
 
 namespace {
 
@@ -202,6 +220,42 @@ printProfile(const runtime::SweepStats &stats)
                 stats.simulateMs);
     std::printf("  %-28s %10.1f ms\n", "sweep wall time",
                 stats.lastSweepWallMs);
+
+    // Registry-backed view: ratios and per-scenario latency come from
+    // the process-wide stats registry, so repeated sweeps in one
+    // process accumulate (unlike the per-engine stats above).
+    const auto pct = [](uint64_t hits, uint64_t misses) {
+        const uint64_t total = hits + misses;
+        return total > 0 ? 100.0 * static_cast<double>(hits) /
+                               static_cast<double>(total)
+                         : 0.0;
+    };
+    const uint64_t cost_h = stats::counter("sweep.costCache.hits").value();
+    const uint64_t cost_m = stats::counter("sweep.costCache.misses").value();
+    const uint64_t sim_h = stats::counter("sweep.simCache.hits").value();
+    const uint64_t sim_m = stats::counter("sweep.simCache.misses").value();
+    const uint64_t sol_h = stats::counter("solver.pipeline.hits").value() +
+                           stats::counter("solver.partition.hits").value();
+    const uint64_t sol_m =
+        stats::counter("solver.pipeline.misses").value() +
+        stats::counter("solver.partition.misses").value();
+    std::printf("cache hit ratios (process-wide):\n");
+    std::printf("  %-28s %5.1f%%  (%llu of %llu)\n", "cost cache",
+                pct(cost_h, cost_m),
+                static_cast<unsigned long long>(cost_h),
+                static_cast<unsigned long long>(cost_h + cost_m));
+    std::printf("  %-28s %5.1f%%  (%llu of %llu)\n", "sim cache",
+                pct(sim_h, sim_m), static_cast<unsigned long long>(sim_h),
+                static_cast<unsigned long long>(sim_h + sim_m));
+    std::printf("  %-28s %5.1f%%  (%llu of %llu)\n", "solver caches",
+                pct(sol_h, sol_m), static_cast<unsigned long long>(sol_h),
+                static_cast<unsigned long long>(sol_h + sol_m));
+    const stats::Histogram &sim_ms = stats::histogram("sweep.simulate.ms");
+    if (sim_ms.count() > 0)
+        std::printf("per-scenario simulate: mean %.3f ms, max %.3f ms "
+                    "(%llu cold simulations)\n",
+                    sim_ms.mean(), sim_ms.maxValue(),
+                    static_cast<unsigned long long>(sim_ms.count()));
 }
 
 /** memcmp-level equality of two sweeps' timing results. */
@@ -339,6 +393,20 @@ selftest(const std::vector<runtime::Scenario> &grid)
     return same && cached && persist_ok ? 0 : 1;
 }
 
+/** Write @p text to @p path; stderr + false on failure. */
+bool
+dumpTextFile(const char *path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+    out.close();
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return false;
+    }
+    return true;
+}
+
 int
 usage(const char *argv0)
 {
@@ -348,6 +416,8 @@ usage(const char *argv0)
                  "          [--out-json FILE] [--out-csv FILE]\n"
                  "          [--diff BASELINE] [--tolerance PCT]\n"
                  "          [--shard K/N] [--no-sim-cache] [--profile]\n"
+                 "          [--explain LABEL|best] [--link-util]\n"
+                 "          [--metrics-json FILE] [--self-trace FILE]\n"
                  "          [--selftest]\n",
                  argv0);
     return 2;
@@ -370,6 +440,10 @@ main(int argc, char **argv)
     bool sim_cache = true;
     bool run_selftest = false;
     bool profile = false;
+    bool link_util = false;
+    const char *explain = nullptr;
+    const char *metrics_json = nullptr;
+    const char *self_trace = nullptr;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -409,6 +483,16 @@ main(int argc, char **argv)
             sim_cache = false;
         } else if (std::strcmp(argv[i], "--profile") == 0) {
             profile = true;
+        } else if (std::strcmp(argv[i], "--explain") == 0 && i + 1 < argc) {
+            explain = argv[++i];
+        } else if (std::strcmp(argv[i], "--link-util") == 0) {
+            link_util = true;
+        } else if (std::strcmp(argv[i], "--metrics-json") == 0 &&
+                   i + 1 < argc) {
+            metrics_json = argv[++i];
+        } else if (std::strcmp(argv[i], "--self-trace") == 0 &&
+                   i + 1 < argc) {
+            self_trace = argv[++i];
         } else if (std::strcmp(argv[i], "--selftest") == 0) {
             run_selftest = true;
         } else {
@@ -419,9 +503,11 @@ main(int argc, char **argv)
     std::vector<runtime::Scenario> grid =
         runtime::demoGrid(batches, schedules);
     if (run_selftest) {
-        if (trace_path != nullptr)
-            std::fprintf(stderr,
-                         "warning: --trace is ignored with --selftest\n");
+        if (trace_path != nullptr || explain != nullptr ||
+            self_trace != nullptr || metrics_json != nullptr)
+            std::fprintf(stderr, "warning: --trace/--explain/--self-trace/"
+                                 "--metrics-json are ignored with "
+                                 "--selftest\n");
         return selftest(grid);
     }
     if (shard.count > 1) {
@@ -437,8 +523,12 @@ main(int argc, char **argv)
     }
     runtime::SweepOptions opts;
     opts.numThreads = threads;
-    opts.keepGraphs = trace_path != nullptr;
+    // --explain needs the retained graph of its scenario, same as the
+    // trace exporter.
+    opts.keepGraphs = trace_path != nullptr || explain != nullptr;
     opts.enableSimCache = sim_cache;
+    if (self_trace != nullptr)
+        runtime::SelfTrace::instance().enable();
     runtime::SweepEngine engine(opts);
     auto results = engine.run(grid);
 
@@ -453,14 +543,45 @@ main(int argc, char **argv)
     if (profile)
         printProfile(stats);
 
+    if (explain != nullptr && !results.empty()) {
+        const runtime::ScenarioResult *target = nullptr;
+        if (std::strcmp(explain, "best") == 0) {
+            target = &results.front();
+            for (const auto &r : results)
+                if (r.makespanMs < target->makespanMs)
+                    target = &r;
+        } else {
+            for (const auto &r : results) {
+                if (r.scenario.label() == explain) {
+                    target = &r;
+                    break;
+                }
+            }
+            if (target == nullptr) {
+                std::fprintf(stderr,
+                             "--explain: no scenario labelled '%s' in this "
+                             "grid (labels look like '%s'; or use "
+                             "'best')\n",
+                             explain,
+                             results.front().scenario.label().c_str());
+                return 2;
+            }
+        }
+        const sim::RunReport report =
+            sim::analyzeRun(target->graph, target->sim);
+        std::printf("\nexplain %s:\n%s",
+                    target->scenario.label().c_str(),
+                    sim::formatRunReport(target->graph, report).c_str());
+    }
+
     const auto records = runtime::toSweepResults(results);
     if (out_json != nullptr) {
-        if (!runtime::writeResultsJson(out_json, records))
+        if (!runtime::writeResultsJson(out_json, records, link_util))
             return 2;
         std::printf("wrote %zu results to %s\n", records.size(), out_json);
     }
     if (out_csv != nullptr) {
-        if (!runtime::writeResultsCsv(out_csv, records))
+        if (!runtime::writeResultsCsv(out_csv, records, link_util))
             return 2;
         std::printf("wrote %zu results to %s\n", records.size(), out_csv);
     }
@@ -476,6 +597,21 @@ main(int argc, char **argv)
                         best->scenario.label().c_str(), trace_path);
         else
             return 1;
+    }
+
+    if (self_trace != nullptr) {
+        runtime::SelfTrace &tracer = runtime::SelfTrace::instance();
+        tracer.disable();
+        if (!tracer.write(self_trace))
+            return 1;
+        std::printf("wrote %zu self-trace spans to %s\n",
+                    tracer.eventCount(), self_trace);
+    }
+    if (metrics_json != nullptr) {
+        if (!dumpTextFile(metrics_json,
+                          stats::Registry::instance().snapshotJson()))
+            return 1;
+        std::printf("wrote stats snapshot to %s\n", metrics_json);
     }
 
     if (diff_baseline != nullptr) {

@@ -1,6 +1,122 @@
 #include "base/logging.h"
 
+#include <atomic>
+#include <cctype>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
 namespace fsmoe {
+
+namespace {
+
+/**
+ * Dedup table state. Keyed by the exact printed form (site + text) so
+ * two call sites with the same text stay distinct. Guards itself; the
+ * level lives in a separate atomic so logEnabled() stays lock-free.
+ */
+struct WarnState
+{
+    std::mutex mu;
+    std::unordered_map<std::string, size_t> counts;
+    size_t suppressed = 0;
+    bool atexit_registered = false;
+};
+
+WarnState &
+warnState()
+{
+    static WarnState state;
+    return state;
+}
+
+LogLevel
+parseLevel(const char *text, bool *ok)
+{
+    std::string s;
+    for (const char *p = text; *p != '\0'; ++p)
+        s += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*p)));
+    *ok = true;
+    if (s == "silent" || s == "none" || s == "0")
+        return LogLevel::Silent;
+    if (s == "error" || s == "1")
+        return LogLevel::Error;
+    if (s == "warn" || s == "warning" || s == "2")
+        return LogLevel::Warn;
+    if (s == "verbose" || s == "debug" || s == "3")
+        return LogLevel::Verbose;
+    *ok = false;
+    return LogLevel::Warn;
+}
+
+std::atomic<int> &
+levelStore()
+{
+    static std::atomic<int> level = [] {
+        LogLevel l = LogLevel::Warn;
+        if (const char *env = std::getenv("FSMOE_LOG_LEVEL")) {
+            bool ok = false;
+            l = parseLevel(env, &ok);
+            if (!ok)
+                std::fprintf(stderr,
+                             "warn: unknown FSMOE_LOG_LEVEL '%s' "
+                             "(want silent|error|warn|verbose); "
+                             "keeping 'warn'\n",
+                             env);
+        }
+        return static_cast<int>(l);
+    }();
+    return level;
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(levelStore().load(std::memory_order_relaxed));
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelStore().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <=
+           levelStore().load(std::memory_order_relaxed);
+}
+
+size_t
+suppressedWarningCount()
+{
+    WarnState &state = warnState();
+    std::lock_guard<std::mutex> lock(state.mu);
+    return state.suppressed;
+}
+
+void
+flushRepeatedWarnings()
+{
+    WarnState &state = warnState();
+    std::vector<std::pair<std::string, size_t>> repeats;
+    {
+        std::lock_guard<std::mutex> lock(state.mu);
+        for (const auto &[msg, count] : state.counts)
+            if (count > 1)
+                repeats.emplace_back(msg, count - 1);
+        state.counts.clear();
+        state.suppressed = 0;
+    }
+    for (const auto &[msg, times] : repeats)
+        std::fprintf(stderr, "%s (repeated %zu more time%s)\n", msg.c_str(),
+                     times, times == 1 ? "" : "s");
+}
+
 namespace detail {
 
 [[noreturn]] void
@@ -20,7 +136,37 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+    if (!logEnabled(LogLevel::Warn))
+        return;
+    char formatted[1024];
+    std::snprintf(formatted, sizeof formatted, "warn: %s (%s:%d)",
+                  msg.c_str(), file, line);
+    WarnState &state = warnState();
+    bool print_now = false;
+    {
+        std::lock_guard<std::mutex> lock(state.mu);
+        size_t &count = state.counts[formatted];
+        ++count;
+        if (count == 1) {
+            print_now = true;
+        } else {
+            ++state.suppressed;
+            if (!state.atexit_registered) {
+                state.atexit_registered = true;
+                std::atexit(flushRepeatedWarnings);
+            }
+        }
+    }
+    if (print_now)
+        std::fprintf(stderr, "%s\n", formatted);
+}
+
+void
+verboseImpl(const char *file, int line, const std::string &msg)
+{
+    if (!logEnabled(LogLevel::Verbose))
+        return;
+    std::fprintf(stderr, "verbose: %s (%s:%d)\n", msg.c_str(), file, line);
 }
 
 } // namespace detail

@@ -7,6 +7,24 @@
  * invalid configurations. Both print a location-tagged message; panic()
  * aborts so a debugger or core dump can capture the state, fatal() exits
  * with a non-zero status.
+ *
+ * Non-terminating output is levelled: FSMOE_WARN prints at LogLevel::
+ * Warn and above, FSMOE_VERBOSE at LogLevel::Verbose only. The level
+ * defaults to Warn and is taken from the FSMOE_LOG_LEVEL environment
+ * variable ("silent", "error", "warn", "verbose"; case-insensitive) at
+ * first use, overridable programmatically with setLogLevel(). panic()
+ * and fatal() always print — a terminating error can never be
+ * silenced.
+ *
+ * Repeated identical warnings (same site, same text) are deduplicated:
+ * the first occurrence prints, later ones only bump a suppression
+ * counter, and a "repeated N times" summary is flushed at process exit
+ * (or on demand with flushRepeatedWarnings()). A sweep that trips the
+ * same configuration warning for thousands of scenarios emits one
+ * line, not thousands.
+ *
+ * Thread-safety: every function here may be called concurrently; the
+ * warning dedup table and the level are internally synchronised.
  */
 #ifndef FSMOE_BASE_LOGGING_H
 #define FSMOE_BASE_LOGGING_H
@@ -18,6 +36,37 @@
 #include <utility>
 
 namespace fsmoe {
+
+/** Verbosity of the non-terminating log macros, least verbose first. */
+enum class LogLevel
+{
+    Silent = 0,  ///< Nothing below panic/fatal prints.
+    Error = 1,   ///< Reserved tier between Silent and Warn.
+    Warn = 2,    ///< FSMOE_WARN prints (the default).
+    Verbose = 3, ///< FSMOE_VERBOSE prints too.
+};
+
+/**
+ * The current level. First call resolves FSMOE_LOG_LEVEL from the
+ * environment (unknown values keep the Warn default and warn once).
+ */
+LogLevel logLevel();
+
+/** Override the level for this process (wins over the environment). */
+void setLogLevel(LogLevel level);
+
+/** Would a message at @p level print right now? */
+bool logEnabled(LogLevel level);
+
+/** Warnings swallowed by the dedup table so far (not by the level). */
+size_t suppressedWarningCount();
+
+/**
+ * Print the "repeated N times" summary for every deduplicated warning
+ * and clear the table. Registered atexit on first suppression, so
+ * explicit calls are only needed by tests and long-lived servers.
+ */
+void flushRepeatedWarnings();
 
 namespace detail {
 
@@ -34,6 +83,7 @@ concat(Args &&...args)
 [[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 void warnImpl(const char *file, int line, const std::string &msg);
+void verboseImpl(const char *file, int line, const std::string &msg);
 
 } // namespace detail
 
@@ -49,10 +99,27 @@ void warnImpl(const char *file, int line, const std::string &msg);
     ::fsmoe::detail::fatalImpl(__FILE__, __LINE__, \
                                ::fsmoe::detail::concat(__VA_ARGS__))
 
-/** Print a warning without stopping execution. */
+/**
+ * Print a warning without stopping execution. Prints at
+ * LogLevel::Warn+; identical repeats are deduplicated (see above).
+ */
 #define FSMOE_WARN(...) \
     ::fsmoe::detail::warnImpl(__FILE__, __LINE__, \
                               ::fsmoe::detail::concat(__VA_ARGS__))
+
+/**
+ * Diagnostic chatter, compiled in but silent unless
+ * FSMOE_LOG_LEVEL=verbose (or setLogLevel(LogLevel::Verbose)). The
+ * argument pack is only formatted when the level is enabled.
+ */
+#define FSMOE_VERBOSE(...) \
+    do { \
+        if (::fsmoe::logEnabled(::fsmoe::LogLevel::Verbose)) { \
+            ::fsmoe::detail::verboseImpl( \
+                __FILE__, __LINE__, \
+                ::fsmoe::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
 
 /** Internal invariant check, active in all build types. */
 #define FSMOE_ASSERT(cond, ...) \

@@ -7,9 +7,34 @@
 #include <string>
 #include <unordered_map>
 
+#include "base/stats.h"
+
 namespace fsmoe::core {
 
 namespace {
+
+/**
+ * Registry mirrors of the local SolverCacheStats counters, so
+ * `--metrics-json` snapshots see the solver tier next to the sweep
+ * caches. clearSolverCaches() resets the local struct only — the
+ * registry stays cumulative until Registry::reset().
+ */
+struct SolverRegStats
+{
+    stats::Counter &pipelineHits = stats::counter("solver.pipeline.hits");
+    stats::Counter &pipelineMisses =
+        stats::counter("solver.pipeline.misses");
+    stats::Counter &partitionHits = stats::counter("solver.partition.hits");
+    stats::Counter &partitionMisses =
+        stats::counter("solver.partition.misses");
+    stats::Histogram &solveMs = stats::histogram("solver.solve.ms");
+
+    static SolverRegStats &instance()
+    {
+        static SolverRegStats s;
+        return s;
+    }
+};
 
 /// Entry-count ceiling per cache; a full cache is dropped wholesale.
 /// Keys are distinct solver inputs, so ordinary sweeps stay far below
@@ -84,7 +109,8 @@ SolverCacheStats stats;
 template <typename Map, typename Solve>
 auto
 memoized(Map &cache, const std::string &key, uint64_t SolverCacheStats::*hit,
-         uint64_t SolverCacheStats::*miss, Solve &&solve)
+         uint64_t SolverCacheStats::*miss, stats::Counter &reg_hit,
+         stats::Counter &reg_miss, Solve &&solve)
 {
     typename Map::mapped_type entry;
     {
@@ -97,12 +123,16 @@ memoized(Map &cache, const std::string &key, uint64_t SolverCacheStats::*hit,
             stats.*miss += 1;
         }
     }
-    if (entry != nullptr)
+    if (entry != nullptr) {
+        reg_hit.inc();
         return *entry;
+    }
+    reg_miss.inc();
     Timer timer;
     auto value = std::make_shared<
         typename Map::mapped_type::element_type>(solve());
     const double ms = timer.elapsedMs();
+    SolverRegStats::instance().solveMs.observe(ms);
     {
         std::lock_guard<std::mutex> lock(mu);
         stats.solveMs += ms;
@@ -120,9 +150,10 @@ cachedSolvePipeline(const PipelineProblem &p)
 {
     std::string key(1, 'S');
     appendProblem(key, p);
+    SolverRegStats &reg = SolverRegStats::instance();
     return memoized(pipeline_cache, key, &SolverCacheStats::pipelineHits,
-                    &SolverCacheStats::pipelineMisses,
-                    [&] { return solvePipeline(p); });
+                    &SolverCacheStats::pipelineMisses, reg.pipelineHits,
+                    reg.pipelineMisses, [&] { return solvePipeline(p); });
 }
 
 PipelineSolution
@@ -130,8 +161,10 @@ cachedSolvePipelineMerged(const PipelineProblem &p)
 {
     std::string key(1, 'M');
     appendProblem(key, p);
+    SolverRegStats &reg = SolverRegStats::instance();
     return memoized(pipeline_cache, key, &SolverCacheStats::pipelineHits,
-                    &SolverCacheStats::pipelineMisses,
+                    &SolverCacheStats::pipelineMisses, reg.pipelineHits,
+                    reg.pipelineMisses,
                     [&] { return solvePipelineMerged(p); });
 }
 
@@ -159,8 +192,10 @@ cachedPartitionGradients(const std::vector<GeneralizedLayer> &layers,
     appendBits(key, de.tolerance);
     key.push_back(enable_step2 ? '1' : '0');
     key.push_back(merged_channel ? '1' : '0');
+    SolverRegStats &reg = SolverRegStats::instance();
     return memoized(partition_cache, key, &SolverCacheStats::partitionHits,
-                    &SolverCacheStats::partitionMisses, [&] {
+                    &SolverCacheStats::partitionMisses, reg.partitionHits,
+                    reg.partitionMisses, [&] {
                         return partitionGradients(layers, allreduce, de,
                                                   enable_step2,
                                                   merged_channel);

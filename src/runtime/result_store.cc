@@ -10,17 +10,25 @@
 #include <unordered_set>
 
 #include "base/logging.h"
+#include "sim/trace.h"
 
 namespace fsmoe::runtime {
 
 namespace {
 
 constexpr size_t kNumOps = static_cast<size_t>(sim::OpType::NumOpTypes);
+constexpr size_t kNumLinks = static_cast<size_t>(sim::Link::NumLinks);
 
 const char *
 opName(size_t i)
 {
     return sim::opTypeName(static_cast<sim::OpType>(i));
+}
+
+const char *
+linkName(size_t i)
+{
+    return sim::linkName(static_cast<sim::Link>(i));
 }
 
 /**
@@ -443,7 +451,7 @@ splitCsvRecords(const std::string &text, std::vector<std::string> *records)
 }
 
 std::vector<std::string>
-csvHeader()
+csvHeader(bool with_links)
 {
     std::vector<std::string> cols = {
         "model",      "cluster",     "schedule",
@@ -452,6 +460,10 @@ csvHeader()
     };
     for (size_t i = 0; i < kNumOps; ++i)
         cols.push_back(std::string("op_") + opName(i) + "_ms");
+    if (with_links) {
+        for (size_t i = 0; i < kNumLinks; ++i)
+            cols.push_back(std::string("link_") + linkName(i) + "_busy_ms");
+    }
     return cols;
 }
 
@@ -522,6 +534,9 @@ SweepResult::fromScenarioResult(const ScenarioResult &r)
     out.makespanMs = r.makespanMs;
     for (size_t i = 0; i < kNumOps; ++i)
         out.opTimeMs[i] = r.sim.opTime[i];
+    for (size_t i = 0; i < kNumLinks; ++i)
+        out.linkBusyMs[i] = r.sim.linkBusyMs[i];
+    out.hasLinkStats = true;
     return out;
 }
 
@@ -538,7 +553,7 @@ toSweepResults(const std::vector<ScenarioResult> &results)
 // ------------------------------------------------------------ writers
 
 std::string
-toJson(const std::vector<SweepResult> &results)
+toJson(const std::vector<SweepResult> &results, bool include_link_stats)
 {
     std::ostringstream oss;
     oss << "{\"schema\":\"fsmoe-sweep-results\",\"version\":1,"
@@ -560,17 +575,26 @@ toJson(const std::vector<SweepResult> &results)
             oss << (op == 0 ? "" : ",") << '"' << opName(op)
                 << "\":" << fmtDouble(r.opTimeMs[op]);
         }
-        oss << "}}";
+        oss << '}';
+        if (include_link_stats) {
+            oss << ",\"link_busy_ms\":{";
+            for (size_t li = 0; li < kNumLinks; ++li) {
+                oss << (li == 0 ? "" : ",") << '"' << linkName(li)
+                    << "\":" << fmtDouble(r.linkBusyMs[li]);
+            }
+            oss << '}';
+        }
+        oss << '}';
     }
     oss << "\n]}\n";
     return oss.str();
 }
 
 std::string
-toCsv(const std::vector<SweepResult> &results)
+toCsv(const std::vector<SweepResult> &results, bool include_link_stats)
 {
     std::ostringstream oss;
-    const std::vector<std::string> header = csvHeader();
+    const std::vector<std::string> header = csvHeader(include_link_stats);
     for (size_t i = 0; i < header.size(); ++i)
         oss << (i == 0 ? "" : ",") << header[i];
     oss << '\n';
@@ -581,6 +605,10 @@ toCsv(const std::vector<SweepResult> &results)
             << ',' << fmtDouble(r.makespanMs);
         for (size_t op = 0; op < kNumOps; ++op)
             oss << ',' << fmtDouble(r.opTimeMs[op]);
+        if (include_link_stats) {
+            for (size_t li = 0; li < kNumLinks; ++li)
+                oss << ',' << fmtDouble(r.linkBusyMs[li]);
+        }
         oss << '\n';
     }
     return oss.str();
@@ -662,6 +690,19 @@ parseJson(const std::string &text, std::vector<SweepResult> *out,
             if (!jsonNumber(ops->find(opName(op)), &r.opTimeMs[op]))
                 return bad(opName(op));
         }
+        // Optional link breakdown (written with include_link_stats);
+        // absent in older files, which parse identically to before.
+        const JsonValue *links = entry.find("link_busy_ms");
+        if (links != nullptr) {
+            if (links->kind != JsonValue::Kind::Object)
+                return bad("link_busy_ms");
+            for (size_t li = 0; li < kNumLinks; ++li) {
+                if (!jsonNumber(links->find(linkName(li)),
+                                &r.linkBusyMs[li]))
+                    return bad(linkName(li));
+            }
+            r.hasLinkStats = true;
+        }
         out->push_back(std::move(r));
     }
     return true;
@@ -682,15 +723,25 @@ parseCsv(const std::string &text, std::vector<SweepResult> *out,
             *error = "empty CSV";
         return false;
     }
+    // The header row decides which of the two writer shapes this file
+    // has: the classic columns, or classic plus the link columns.
     std::vector<std::string> fields;
-    if (!splitCsvRecord(records[0], &fields) || fields != csvHeader()) {
+    bool with_links = false;
+    if (!splitCsvRecord(records[0], &fields)) {
+        if (error)
+            *error = "CSV header does not match the sweep-result schema";
+        return false;
+    }
+    if (fields == csvHeader(true)) {
+        with_links = true;
+    } else if (fields != csvHeader(false)) {
         if (error)
             *error = "CSV header does not match the sweep-result schema";
         return false;
     }
 
     out->clear();
-    const size_t ncols = fields.size(); // == csvHeader().size()
+    const size_t ncols = fields.size(); // == csvHeader(with_links).size()
     for (size_t lineno = 2; lineno <= records.size(); ++lineno) {
         const std::string &line = records[lineno - 1];
         if (line.empty())
@@ -731,6 +782,14 @@ parseCsv(const std::string &text, std::vector<SweepResult> *out,
             if (!parseDouble(fields[9 + op], &r.opTimeMs[op]))
                 return bad("bad op time");
         }
+        if (with_links) {
+            for (size_t li = 0; li < kNumLinks; ++li) {
+                if (!parseDouble(fields[9 + kNumOps + li],
+                                 &r.linkBusyMs[li]))
+                    return bad("bad link time");
+            }
+            r.hasLinkStats = true;
+        }
         out->push_back(std::move(r));
     }
     return true;
@@ -738,16 +797,18 @@ parseCsv(const std::string &text, std::vector<SweepResult> *out,
 
 bool
 writeResultsJson(const std::string &path,
-                 const std::vector<SweepResult> &results)
+                 const std::vector<SweepResult> &results,
+                 bool include_link_stats)
 {
-    return writeTextFile(path, toJson(results));
+    return writeTextFile(path, toJson(results, include_link_stats));
 }
 
 bool
 writeResultsCsv(const std::string &path,
-                const std::vector<SweepResult> &results)
+                const std::vector<SweepResult> &results,
+                bool include_link_stats)
 {
-    return writeTextFile(path, toCsv(results));
+    return writeTextFile(path, toCsv(results, include_link_stats));
 }
 
 bool

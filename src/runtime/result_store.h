@@ -53,6 +53,16 @@ struct SweepResult
     /// Busy milliseconds per op class, indexed by sim::OpType.
     std::array<double, static_cast<size_t>(sim::OpType::NumOpTypes)>
         opTimeMs{};
+    /// Busy milliseconds per physical link, indexed by sim::Link —
+    /// per-link utilization is linkBusyMs / makespanMs. Serialised
+    /// only when the writer is asked for link stats (see toJson /
+    /// toCsv), so default output stays byte-identical to pre-link-stat
+    /// files.
+    std::array<double, static_cast<size_t>(sim::Link::NumLinks)>
+        linkBusyMs{};
+    /// True when linkBusyMs carries data (set by fromScenarioResult
+    /// and by readers of files that contain the link columns).
+    bool hasLinkStats = false;
 
     /**
      * Stable scenario key used to join result sets in diffResults():
@@ -76,10 +86,18 @@ toSweepResults(const std::vector<ScenarioResult> &results);
 // whitespace in JSON and unknown object fields, which are ignored for
 // forward compatibility); on malformed input they return false and
 // describe the problem in *error.
+//
+// include_link_stats opts rows into the per-link busy-time columns
+// ("link_busy_ms" JSON object / link_*_busy_ms CSV columns, fsmoe_sweep
+// --link-util). Default off: the emitted bytes then match pre-link-stat
+// writers exactly, which is what keeps the blessed demo-grid baseline
+// byte-identical. Readers auto-detect either shape.
 // ---------------------------------------------------------------------
 
-std::string toJson(const std::vector<SweepResult> &results);
-std::string toCsv(const std::vector<SweepResult> &results);
+std::string toJson(const std::vector<SweepResult> &results,
+                   bool include_link_stats = false);
+std::string toCsv(const std::vector<SweepResult> &results,
+                  bool include_link_stats = false);
 
 bool parseJson(const std::string &text, std::vector<SweepResult> *out,
                std::string *error);
@@ -87,9 +105,11 @@ bool parseCsv(const std::string &text, std::vector<SweepResult> *out,
               std::string *error);
 
 bool writeResultsJson(const std::string &path,
-                      const std::vector<SweepResult> &results);
+                      const std::vector<SweepResult> &results,
+                      bool include_link_stats = false);
 bool writeResultsCsv(const std::string &path,
-                     const std::vector<SweepResult> &results);
+                     const std::vector<SweepResult> &results,
+                     bool include_link_stats = false);
 
 /**
  * Read a result file, dispatching on its extension: ".csv" parses as

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Host-side span tracing: Chrome trace_event records of the sweep
+ * runtime's *own* execution, so a slow sweep can be profiled in
+ * Perfetto / chrome://tracing right next to the simulated timelines
+ * that runtime/trace_export emits for the *simulated* tasks.
+ *
+ * The collector is process-wide and disabled by default: a SelfSpan
+ * constructed while tracing is off costs one relaxed atomic load and
+ * records nothing. When enabled (fsmoe_sweep --self-trace out.json),
+ * each SelfSpan's scope becomes one complete ("ph":"X") event on the
+ * recording thread's own timeline row — the sweep engine opens a
+ * scenario span per worker-thread evaluation with stage sub-spans
+ * (cost derivation, graph build, simulate) nested inside it.
+ *
+ * Thread-safety: enable/disable/record/json may be called from any
+ * thread; events append under an internal mutex (span construction
+ * and destruction, not the traced work, pay that cost). Threads are
+ * numbered in first-record order and named "worker-N" in the trace.
+ *
+ * Determinism: none intended — spans measure wall time of a real
+ * execution, which is the point. Everything that feeds results or
+ * baselines is unaffected by tracing being on or off.
+ */
+#ifndef FSMOE_RUNTIME_SELF_TRACE_H
+#define FSMOE_RUNTIME_SELF_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fsmoe::runtime {
+
+/** The process-wide span collector. */
+class SelfTrace
+{
+  public:
+    static SelfTrace &instance();
+
+    /** Start collecting; clears previous events, restarts the clock. */
+    void enable();
+
+    /** Stop collecting (events are kept until the next enable()). */
+    void disable();
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Append one complete event. @p ts_us / @p dur_us are
+     * microseconds on the clock started by enable(); @p cat must
+     * point to static storage.
+     */
+    void record(std::string name, const char *cat, double ts_us,
+                double dur_us);
+
+    /** Microseconds since enable(); 0 when never enabled. */
+    double nowUs() const;
+
+    size_t eventCount() const;
+
+    /** Render the collected spans as Chrome trace JSON. */
+    std::string chromeTraceJson(
+        const std::string &process_name = "fsmoe_sweep") const;
+
+    /** Write chromeTraceJson() to @p path (warns + false on failure). */
+    bool write(const std::string &path,
+               const std::string &process_name = "fsmoe_sweep") const;
+
+  private:
+    struct Event
+    {
+        std::string name;
+        const char *cat;
+        int tid;
+        double tsUs;
+        double durUs;
+    };
+
+    SelfTrace() = default;
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mu_;
+    std::vector<Event> events_;
+    std::chrono::steady_clock::time_point epoch_{};
+    int next_tid_ = 0;
+};
+
+/**
+ * RAII span: records [construction, destruction) of the current scope
+ * into SelfTrace::instance() — a no-op (one atomic load, no
+ * formatting, no allocation beyond the moved-in name) when tracing is
+ * disabled at construction.
+ */
+class SelfSpan
+{
+  public:
+    explicit SelfSpan(std::string name, const char *cat = "sweep");
+    ~SelfSpan();
+    SelfSpan(const SelfSpan &) = delete;
+    SelfSpan &operator=(const SelfSpan &) = delete;
+
+  private:
+    std::string name_;
+    const char *cat_;
+    double start_us_ = -1.0; ///< < 0: tracing was off, record nothing.
+};
+
+} // namespace fsmoe::runtime
+
+#endif // FSMOE_RUNTIME_SELF_TRACE_H

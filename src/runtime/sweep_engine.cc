@@ -4,8 +4,39 @@
 #include <utility>
 
 #include "base/logging.h"
+#include "base/stats.h"
+#include "runtime/self_trace.h"
 
 namespace fsmoe::runtime {
+
+namespace {
+
+/**
+ * Registry handles for the engine's telemetry, resolved once. The
+ * same counters back every SweepEngine in the process (the registry
+ * is process-wide); the per-engine SweepStats struct remains the
+ * per-lifetime view.
+ */
+struct EngineStats
+{
+    stats::Counter &scenarios = stats::counter("sweep.scenarios.completed");
+    stats::Counter &costHits = stats::counter("sweep.costCache.hits");
+    stats::Counter &costMisses = stats::counter("sweep.costCache.misses");
+    stats::Counter &simHits = stats::counter("sweep.simCache.hits");
+    stats::Counter &simMisses = stats::counter("sweep.simCache.misses");
+    stats::Histogram &costDeriveMs = stats::histogram("sweep.costDerive.ms");
+    stats::Histogram &graphBuildMs = stats::histogram("sweep.graphBuild.ms");
+    stats::Histogram &simulateMs = stats::histogram("sweep.simulate.ms");
+    stats::Histogram &sweepWallMs = stats::histogram("sweep.wall.ms");
+
+    static EngineStats &instance()
+    {
+        static EngineStats s;
+        return s;
+    }
+};
+
+} // namespace
 
 SweepEngine::SweepEngine(SweepOptions options) : options_(options) {}
 
@@ -47,17 +78,26 @@ SweepEngine::costFor(const Scenario &s)
             cost_cache_.emplace(key, promise.get_future().share());
         }
     }
-    if (hit.valid())
+    EngineStats &es = EngineStats::instance();
+    if (hit.valid()) {
+        es.costHits.inc();
         return hit.get(); // may wait on the in-flight computing worker
+    }
+    es.costMisses.inc();
     try {
         const auto c0 = std::chrono::steady_clock::now();
-        auto cost = std::make_shared<const core::ModelCost>(
-            ScenarioRegistry::instance().makeCost(s));
+        auto cost = [&] {
+            SelfSpan span("costDerive", "stage");
+            return std::make_shared<const core::ModelCost>(
+                ScenarioRegistry::instance().makeCost(s));
+        }();
         const auto c1 = std::chrono::steady_clock::now();
+        const double derive_ms =
+            std::chrono::duration<double, std::milli>(c1 - c0).count();
+        es.costDeriveMs.observe(derive_ms);
         {
             std::lock_guard<std::mutex> lock(mu_);
-            stats_.costDeriveMs +=
-                std::chrono::duration<double, std::milli>(c1 - c0).count();
+            stats_.costDeriveMs += derive_ms;
         }
         promise.set_value(cost);
         return cost;
@@ -95,8 +135,12 @@ SweepEngine::simFor(const Scenario &s,
             sim_cache_.emplace(key, promise.get_future().share());
         }
     }
-    if (hit.valid())
+    EngineStats &es = EngineStats::instance();
+    if (hit.valid()) {
+        es.simHits.inc();
         return hit.get(); // may wait on the in-flight computing worker
+    }
+    es.simMisses.inc();
     try {
         auto result = std::make_shared<const sim::SimResult>(
             timedSimulate(s, *cost));
@@ -117,17 +161,30 @@ SweepEngine::timedSimulate(const Scenario &s, const core::ModelCost &cost,
                            sim::TaskGraph *graph_out)
 {
     const auto t0 = std::chrono::steady_clock::now();
-    auto schedule = core::Schedule::create(s.schedule);
-    sim::TaskGraph graph = schedule->build(cost);
+    sim::TaskGraph graph;
+    {
+        SelfSpan span("graphBuild", "stage");
+        auto schedule = core::Schedule::create(s.schedule);
+        graph = schedule->build(cost);
+    }
     const auto t1 = std::chrono::steady_clock::now();
-    sim::SimResult result = sim::Simulator{}.run(graph);
+    sim::SimResult result;
+    {
+        SelfSpan span("simulate", "stage");
+        result = sim::Simulator{}.run(graph);
+    }
     const auto t2 = std::chrono::steady_clock::now();
+    const double build_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double simulate_ms =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    EngineStats &es = EngineStats::instance();
+    es.graphBuildMs.observe(build_ms);
+    es.simulateMs.observe(simulate_ms);
     {
         std::lock_guard<std::mutex> lock(mu_);
-        stats_.graphBuildMs +=
-            std::chrono::duration<double, std::milli>(t1 - t0).count();
-        stats_.simulateMs +=
-            std::chrono::duration<double, std::milli>(t2 - t1).count();
+        stats_.graphBuildMs += build_ms;
+        stats_.simulateMs += simulate_ms;
     }
     if (graph_out != nullptr)
         *graph_out = std::move(graph);
@@ -147,6 +204,7 @@ SweepEngine::run(const std::vector<Scenario> &scenarios)
         for (size_t i = 0; i < scenarios.size(); ++i) {
             done.push_back(pool.submit([this, &scenarios, &results, i]() {
                 const Scenario &s = scenarios[i];
+                SelfSpan span(s.label(), "scenario");
                 auto cost = costFor(s);
                 ScenarioResult &out = results[i];
                 out.scenario = s;
@@ -160,6 +218,7 @@ SweepEngine::run(const std::vector<Scenario> &scenarios)
                     out.sim = timedSimulate(s, *cost);
                 }
                 out.makespanMs = out.sim.makespan;
+                EngineStats::instance().scenarios.inc();
             }));
         }
         for (auto &f : done)
@@ -167,11 +226,13 @@ SweepEngine::run(const std::vector<Scenario> &scenarios)
     }
 
     const auto t1 = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    EngineStats::instance().sweepWallMs.observe(wall_ms);
     {
         std::lock_guard<std::mutex> lock(mu_);
         stats_.scenariosRun += scenarios.size();
-        stats_.lastSweepWallMs =
-            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        stats_.lastSweepWallMs = wall_ms;
     }
     return results;
 }

@@ -1,10 +1,32 @@
 #include "runtime/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "base/logging.h"
+#include "base/stats.h"
 
 namespace fsmoe::runtime {
+
+namespace {
+
+/** Registry handles for the pool's telemetry, resolved once. */
+struct PoolStats
+{
+    stats::Counter &submitted =
+        stats::counter("threadpool.tasks.submitted");
+    stats::Counter &executed = stats::counter("threadpool.tasks.executed");
+    stats::Gauge &queueDepth = stats::gauge("threadpool.queueDepth");
+    stats::Histogram &taskMs = stats::histogram("threadpool.task.ms");
+
+    static PoolStats &instance()
+    {
+        static PoolStats s;
+        return s;
+    }
+};
+
+} // namespace
 
 ThreadPool::ThreadPool(int num_threads, size_t queue_capacity)
     : capacity_(std::max<size_t>(1, queue_capacity))
@@ -47,7 +69,13 @@ ThreadPool::enqueue(std::function<void()> job)
     FSMOE_CHECK_ARG(!stopping_, "submit() on a stopped ThreadPool");
     queue_.push_back(std::move(job));
     ++submitted_;
+    const size_t depth = queue_.size();
     lock.unlock();
+    PoolStats &ps = PoolStats::instance();
+    ps.submitted.inc();
+    // Point-in-time depth plus its high-water mark; the max is what
+    // "was the queue ever the bottleneck" questions read.
+    ps.queueDepth.set(static_cast<double>(depth));
     not_empty_.notify_one();
 }
 
@@ -67,7 +95,13 @@ ThreadPool::workerLoop()
             queue_.pop_front();
         }
         not_full_.notify_one();
+        PoolStats &ps = PoolStats::instance();
+        const auto t0 = std::chrono::steady_clock::now();
         job(); // packaged_task captures exceptions into the future
+        ps.taskMs.observe(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+        ps.executed.inc();
     }
 }
 

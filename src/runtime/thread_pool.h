@@ -21,6 +21,12 @@
  * scheduler-dependent. Deterministic users (the SweepEngine) get
  * reproducibility by giving each task an independent slot to write
  * to, never by relying on execution order.
+ *
+ * Telemetry: every pool reports into the base/stats registry —
+ * threadpool.tasks.{submitted,executed} counters, a
+ * threadpool.queueDepth gauge (current + high-water), and a
+ * threadpool.task.ms per-task latency histogram (see
+ * docs/OBSERVABILITY.md).
  */
 #ifndef FSMOE_RUNTIME_THREAD_POOL_H
 #define FSMOE_RUNTIME_THREAD_POOL_H

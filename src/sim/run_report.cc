@@ -1,0 +1,235 @@
+#include "sim/run_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.h"
+#include "sim/trace.h"
+
+namespace fsmoe::sim {
+
+namespace {
+
+/**
+ * Per-link index of (finish, id), sorted, for O(log n) lookup of "who
+ * occupied this link until time t". Built once per analyzeRun.
+ */
+struct LinkIndex
+{
+    std::array<std::vector<std::pair<double, TaskId>>,
+               static_cast<size_t>(Link::NumLinks)>
+        byFinish;
+
+    LinkIndex(const TaskGraph &graph, const SimResult &result)
+    {
+        for (const Task &t : graph.tasks())
+            byFinish[static_cast<size_t>(t.link)].emplace_back(
+                result.trace[t.id].finish, t.id);
+        for (auto &v : byFinish)
+            std::sort(v.begin(), v.end());
+    }
+
+    /**
+     * Smallest-id task on @p link finishing exactly at @p t that
+     * started strictly before @p before (the link's previous
+     * occupant); -1 if none.
+     */
+    TaskId occupantUntil(Link link, double t, double before,
+                         const SimResult &result) const
+    {
+        const auto &v = byFinish[static_cast<size_t>(link)];
+        auto it = std::lower_bound(v.begin(), v.end(),
+                                   std::make_pair(t, TaskId{-1}));
+        for (; it != v.end() && it->first == t; ++it)
+            if (result.trace[it->second].start < before)
+                return it->second;
+        return -1;
+    }
+};
+
+} // namespace
+
+const char *
+hopReasonName(HopReason r)
+{
+    switch (r) {
+      case HopReason::Root: return "root";
+      case HopReason::Dependency: return "dep";
+      case HopReason::LinkWait: return "link-wait";
+      case HopReason::StreamOrder: return "stream-order";
+      default: return "?";
+    }
+}
+
+RunReport
+analyzeRun(const TaskGraph &graph, const SimResult &result)
+{
+    FSMOE_CHECK_ARG(result.trace.size() == graph.size(),
+                    "SimResult has ", result.trace.size(),
+                    " trace records for a graph of ", graph.size(),
+                    " tasks; was it produced from this graph?");
+    RunReport report;
+    report.makespanMs = result.makespan;
+    const size_t n = graph.size();
+    if (n == 0)
+        return report;
+
+    // Link usage straight from the graph + trace (not SimResult's own
+    // linkBusyMs, so reports also work on results from simulators
+    // that predate that field, e.g. the retained test reference).
+    for (const Task &t : graph.tasks()) {
+        LinkUsage &u = report.links[static_cast<size_t>(t.link)];
+        u.busyMs += result.trace[t.id].finish - result.trace[t.id].start;
+        u.tasks += 1;
+    }
+    if (report.makespanMs > 0.0) {
+        for (LinkUsage &u : report.links) {
+            u.utilization = u.busyMs / report.makespanMs;
+            u.idleFraction = 1.0 - u.utilization;
+        }
+    }
+
+    // End of the chain: the task whose finish is the makespan
+    // (smallest id on ties).
+    TaskId cur = 0;
+    for (TaskId id = 0; id < static_cast<TaskId>(n); ++id)
+        if (result.trace[id].finish > result.trace[cur].finish)
+            cur = id;
+
+    // Stream predecessor by issue order == id order within a stream.
+    std::vector<TaskId> stream_pred(n, -1);
+    {
+        std::vector<TaskId> last(graph.numStreams(), -1);
+        for (const Task &t : graph.tasks()) {
+            stream_pred[t.id] = last[t.stream];
+            last[t.stream] = t.id;
+        }
+    }
+
+    const LinkIndex links(graph, result);
+
+    // Backward walk. Each hop moves to a task with a strictly smaller
+    // (start, id) pair, so it terminates in at most n steps; the
+    // explicit bound guards a malformed trace from looping forever.
+    std::vector<CriticalHop> path;
+    for (size_t steps = 0; steps <= n; ++steps) {
+        const TaskTrace &tr = result.trace[cur];
+        CriticalHop hop;
+        hop.task = cur;
+        hop.startMs = tr.start;
+        hop.finishMs = tr.finish;
+        const double s = tr.start;
+
+        TaskId next = -1;
+        if (s <= 0.0) {
+            hop.reason = HopReason::Root;
+        } else {
+            // A dependency that finished exactly at our start
+            // (smallest id wins ties, deterministically).
+            for (TaskId d : graph.deps(cur)) {
+                if (result.trace[d].finish == s &&
+                    (next == -1 || d < next)) {
+                    next = d;
+                    hop.reason = HopReason::Dependency;
+                }
+            }
+            if (next == -1) {
+                next = links.occupantUntil(graph.task(cur).link, s,
+                                           /*before=*/s, result);
+                if (next != -1)
+                    hop.reason = HopReason::LinkWait;
+            }
+            if (next == -1) {
+                const TaskId pred = stream_pred[cur];
+                if (pred != -1 && result.trace[pred].start == s) {
+                    next = pred;
+                    hop.reason = HopReason::StreamOrder;
+                }
+            }
+            if (next == -1) {
+                // Started mid-timeline with no visible blocker — a
+                // trace not produced by our simulator. Treat as root.
+                hop.reason = HopReason::Root;
+            }
+        }
+
+        path.push_back(hop);
+        report.criticalPathMs += hop.durationMs();
+        report.criticalOpMs[static_cast<size_t>(graph.task(cur).op)] +=
+            hop.durationMs();
+        if (next == -1)
+            break;
+        cur = next;
+    }
+
+    std::reverse(path.begin(), path.end());
+    report.criticalPath = std::move(path);
+    return report;
+}
+
+std::string
+formatRunReport(const TaskGraph &graph, const RunReport &report)
+{
+    std::ostringstream oss;
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "makespan %.4f ms, %zu tasks\n",
+                  report.makespanMs, graph.size());
+    oss << buf;
+
+    oss << "link utilization:\n";
+    for (size_t li = 0; li < report.links.size(); ++li) {
+        const LinkUsage &u = report.links[li];
+        std::snprintf(buf, sizeof buf,
+                      "  %-10s busy %10.4f ms  util %5.1f%%  idle %5.1f%%"
+                      "  (%d tasks)\n",
+                      linkName(static_cast<Link>(li)), u.busyMs,
+                      u.utilization * 100.0, u.idleFraction * 100.0,
+                      u.tasks);
+        oss << buf;
+    }
+
+    const double coverage =
+        report.makespanMs > 0.0
+            ? report.criticalPathMs / report.makespanMs * 100.0
+            : 0.0;
+    std::snprintf(buf, sizeof buf,
+                  "critical path: %zu hops, %.4f ms (%.1f%% of "
+                  "makespan)\n",
+                  report.criticalPath.size(), report.criticalPathMs,
+                  coverage);
+    oss << buf;
+    for (const CriticalHop &hop : report.criticalPath) {
+        const Task &t = graph.task(hop.task);
+        std::snprintf(buf, sizeof buf,
+                      "  [%-12s] %-12s %-10s start %10.4f  dur %9.4f"
+                      "  (%s)\n",
+                      hopReasonName(hop.reason), t.name().c_str(),
+                      linkName(t.link), hop.startMs, hop.durationMs(),
+                      opTypeName(t.op));
+        oss << buf;
+    }
+
+    oss << "critical-path op breakdown:";
+    bool any = false;
+    for (size_t op = 0; op < report.criticalOpMs.size(); ++op) {
+        if (report.criticalOpMs[op] <= 0.0)
+            continue;
+        std::snprintf(buf, sizeof buf, "%s %s %.4f ms (%.1f%%)",
+                      any ? "," : "",
+                      opTypeName(static_cast<OpType>(op)),
+                      report.criticalOpMs[op],
+                      report.criticalPathMs > 0.0
+                          ? report.criticalOpMs[op] /
+                                report.criticalPathMs * 100.0
+                          : 0.0);
+        oss << buf;
+        any = true;
+    }
+    if (!any)
+        oss << " (empty)";
+    oss << '\n';
+    return oss.str();
+}
+
+} // namespace fsmoe::sim

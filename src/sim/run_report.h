@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Post-hoc analytics over one simulated run: where did the makespan go?
+ *
+ * analyzeRun() distils a (TaskGraph, SimResult) pair into
+ *   1. per-link usage — busy milliseconds, utilization, and idle
+ *      fraction for each physical link over the makespan, and
+ *   2. the critical path — the chain of tasks whose starts are
+ *      mutually determined and whose last member's finish *is* the
+ *      makespan, with the reason each hop had to wait (a dependency
+ *      finishing, the link being occupied, or stream FIFO order).
+ *
+ * The walk is backwards from the makespan-defining task: a task that
+ * started at time s was released either by a dependency that finished
+ * at s, by the task occupying its link until s, or by its stream
+ * predecessor starting at s (stream FIFO gates on the predecessor's
+ * *start*); a task with s == 0 is a root. Ties are broken by smallest
+ * task id, so the extracted path is deterministic. When a path
+ * contains no stream-order hops, its task durations sum exactly to the
+ * makespan; a stream-order hop overlaps its successor, so coverage can
+ * drop below 100% (formatRunReport() prints the coverage).
+ *
+ * Everything here is a pure function of its arguments — thread-safe on
+ * distinct data, deterministic, and free of registry side effects.
+ * Surfaced as `fsmoe_sweep --explain` and the optional per-link
+ * columns in runtime/result_store rows; see docs/OBSERVABILITY.md.
+ */
+#ifndef FSMOE_SIM_RUN_REPORT_H
+#define FSMOE_SIM_RUN_REPORT_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/task_graph.h"
+
+namespace fsmoe::sim {
+
+/** Aggregate use of one physical link over a run. */
+struct LinkUsage
+{
+    double busyMs = 0.0;       ///< Sum of task durations on the link.
+    double utilization = 0.0;  ///< busyMs / makespan (0 if makespan 0).
+    double idleFraction = 0.0; ///< 1 - utilization (0 if makespan 0).
+    int tasks = 0;             ///< Tasks executed on the link.
+};
+
+/** Why a critical-path task could not start earlier. */
+enum class HopReason
+{
+    Root,        ///< Started at time 0; nothing blocked it.
+    Dependency,  ///< A dependency finished exactly at its start.
+    LinkWait,    ///< Its link was occupied until its start.
+    StreamOrder, ///< Its stream predecessor started at its start.
+};
+
+/** Short printable name of a HopReason. */
+const char *hopReasonName(HopReason r);
+
+/** One link of the critical chain, in chronological order. */
+struct CriticalHop
+{
+    TaskId task = -1;
+    HopReason reason = HopReason::Root; ///< Why it started no earlier.
+    double startMs = 0.0;
+    double finishMs = 0.0;
+
+    double durationMs() const { return finishMs - startMs; }
+};
+
+/** The analytics product of one simulated run. */
+struct RunReport
+{
+    double makespanMs = 0.0;
+    std::array<LinkUsage, static_cast<size_t>(Link::NumLinks)> links{};
+    /// Chronological critical chain; empty for an empty graph.
+    std::vector<CriticalHop> criticalPath;
+    /// Sum of critical-path task durations.
+    double criticalPathMs = 0.0;
+    /// Critical-path busy time per op class — which operation classes
+    /// the makespan is actually made of.
+    std::array<double, static_cast<size_t>(OpType::NumOpTypes)>
+        criticalOpMs{};
+};
+
+/**
+ * Analyze @p result, which must have been produced by simulating
+ * exactly @p graph (fatal otherwise).
+ */
+RunReport analyzeRun(const TaskGraph &graph, const SimResult &result);
+
+/**
+ * Human-readable rendering: link utilization table, the critical path
+ * hop by hop (with task names from @p graph), and the per-op
+ * breakdown of the path.
+ */
+std::string formatRunReport(const TaskGraph &graph, const RunReport &report);
+
+} // namespace fsmoe::sim
+
+#endif // FSMOE_SIM_RUN_REPORT_H

@@ -6,7 +6,44 @@
 #include <queue>
 #include <sstream>
 
+#include "base/stats.h"
+#include "sim/trace.h"
+
 namespace fsmoe::sim {
+
+namespace {
+
+/**
+ * Registry handles, resolved once. The hot loop counts into plain
+ * locals and flushes here once per run() — the simulator's inner loop
+ * never touches an atomic.
+ */
+struct SimStats
+{
+    stats::Counter &runs = stats::counter("sim.runs");
+    stats::Counter &tasks = stats::counter("sim.tasks.executed");
+    stats::Counter &events = stats::counter("sim.events.processed");
+    stats::Counter &heapPushes = stats::counter("sim.heap.pushes");
+    stats::Counter &heapPops = stats::counter("sim.heap.pops");
+    std::array<stats::Gauge *, static_cast<size_t>(Link::NumLinks)>
+        linkBusy{};
+
+    SimStats()
+    {
+        for (size_t li = 0; li < linkBusy.size(); ++li)
+            linkBusy[li] = &stats::gauge(
+                std::string("sim.link.") +
+                linkName(static_cast<Link>(li)) + ".busyMs");
+    }
+
+    static SimStats &instance()
+    {
+        static SimStats s;
+        return s;
+    }
+};
+
+} // namespace
 
 /*
  * The inner loop maintains per-link binary heaps of *issuable*
@@ -36,8 +73,15 @@ Simulator::run(const TaskGraph &graph) const
     const size_t n = tasks.size();
     SimResult result;
     result.trace.resize(n);
+    SimStats &sim_stats = SimStats::instance();
+    sim_stats.runs.inc();
     if (n == 0)
         return result;
+
+    // Local telemetry, flushed to the registry once after the loop.
+    uint64_t heap_pushes = 0;
+    uint64_t heap_pops = 0;
+    uint64_t events_processed = 0;
 
     // Mutable per-task state, flat (one allocation each, not per task).
     std::vector<int32_t> pending(n);
@@ -101,6 +145,7 @@ Simulator::run(const TaskGraph &graph) const
         auto &h = cands[static_cast<size_t>(t.link)];
         h.push_back({ready[id], t.priority, id});
         std::push_heap(h.begin(), h.end(), heap_after);
+        ++heap_pushes;
     };
 
     // A task is issuable iff it is its stream's current head and has
@@ -133,6 +178,7 @@ Simulator::run(const TaskGraph &graph) const
         std::pop_heap(h.begin(), h.end(), heap_after);
         TaskId id = h.back().id;
         h.pop_back();
+        ++heap_pops;
         const Task &t = tasks[id];
         double finish = now + t.duration;
         result.trace[id] = {id, now, finish};
@@ -167,12 +213,15 @@ Simulator::run(const TaskGraph &graph) const
                      "dependency cycles or stream-order inversions");
         auto [t_now, id] = events.top();
         events.pop();
+        ++events_processed;
         now = t_now;
         if (finished[id])
             continue;
         finished[id] = 1;
         finished_count++;
         result.opTime[static_cast<size_t>(tasks[id].op)] +=
+            tasks[id].duration;
+        result.linkBusyMs[static_cast<size_t>(tasks[id].link)] +=
             tasks[id].duration;
         result.makespan = std::max(result.makespan, t_now);
         for (uint32_t e = rev_off[id]; e < rev_off[id + 1]; ++e) {
@@ -186,6 +235,13 @@ Simulator::run(const TaskGraph &graph) const
         }
         try_start();
     }
+
+    sim_stats.tasks.inc(n);
+    sim_stats.events.inc(events_processed);
+    sim_stats.heapPushes.inc(heap_pushes);
+    sim_stats.heapPops.inc(heap_pops);
+    for (size_t li = 0; li < result.linkBusyMs.size(); ++li)
+        sim_stats.linkBusy[li]->add(result.linkBusyMs[li]);
     return result;
 }
 

@@ -57,11 +57,21 @@ struct SimResult
     std::vector<TaskTrace> trace;
     /// Total busy milliseconds per operation class.
     std::array<double, static_cast<size_t>(OpType::NumOpTypes)> opTime{};
+    /// Total busy milliseconds per physical link (feeds the per-link
+    /// utilization analytics in sim/run_report.h and the optional
+    /// result-store columns).
+    std::array<double, static_cast<size_t>(Link::NumLinks)> linkBusyMs{};
 
     /** Busy time accumulated by tasks of class @p t. */
     double timeOf(OpType t) const
     {
         return opTime[static_cast<size_t>(t)];
+    }
+
+    /** Busy time accumulated on link @p l. */
+    double busyOf(Link l) const
+    {
+        return linkBusyMs[static_cast<size_t>(l)];
     }
 };
 

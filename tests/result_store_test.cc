@@ -95,6 +95,64 @@ TEST(ResultStore, CsvRoundTripIsBitExact)
     EXPECT_EQ(toCsv(records), toCsv(reread));
 }
 
+TEST(ResultStore, LinkStatsRoundTripThroughBothFormats)
+{
+    const auto records = sweptResults();
+    // The engine populates the per-link breakdown on every record.
+    for (const SweepResult &r : records) {
+        ASSERT_TRUE(r.hasLinkStats);
+        double total = 0.0;
+        for (double v : r.linkBusyMs)
+            total += v;
+        EXPECT_GT(total, 0.0) << r.key();
+    }
+
+    std::vector<SweepResult> reread;
+    std::string error;
+    ASSERT_TRUE(parseJson(toJson(records, /*include_link_stats=*/true),
+                          &reread, &error))
+        << error;
+    expectBitEqual(records, reread);
+    for (size_t i = 0; i < records.size(); ++i) {
+        ASSERT_TRUE(reread[i].hasLinkStats);
+        EXPECT_EQ(std::memcmp(records[i].linkBusyMs.data(),
+                              reread[i].linkBusyMs.data(),
+                              sizeof(double) * records[i].linkBusyMs.size()),
+                  0)
+            << records[i].key();
+    }
+
+    ASSERT_TRUE(parseCsv(toCsv(records, /*include_link_stats=*/true),
+                         &reread, &error))
+        << error;
+    expectBitEqual(records, reread);
+    for (size_t i = 0; i < records.size(); ++i) {
+        ASSERT_TRUE(reread[i].hasLinkStats);
+        EXPECT_EQ(std::memcmp(records[i].linkBusyMs.data(),
+                              reread[i].linkBusyMs.data(),
+                              sizeof(double) * records[i].linkBusyMs.size()),
+                  0)
+            << records[i].key();
+    }
+}
+
+TEST(ResultStore, DefaultWritersOmitLinkStats)
+{
+    const auto records = sweptResults();
+    // Opt-out writers emit the pre-link-stat shape: no link columns in
+    // the bytes, and readers leave hasLinkStats false.
+    EXPECT_EQ(toJson(records).find("link_busy_ms"), std::string::npos);
+    EXPECT_EQ(toCsv(records).find("link_"), std::string::npos);
+    std::vector<SweepResult> reread;
+    std::string error;
+    ASSERT_TRUE(parseJson(toJson(records), &reread, &error)) << error;
+    for (const SweepResult &r : reread)
+        EXPECT_FALSE(r.hasLinkStats);
+    ASSERT_TRUE(parseCsv(toCsv(records), &reread, &error)) << error;
+    for (const SweepResult &r : reread)
+        EXPECT_FALSE(r.hasLinkStats);
+}
+
 TEST(ResultStore, AwkwardValuesAndNamesSurviveBothFormats)
 {
     SweepResult r;

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for sim/run_report: link-utilization math on known
+ * timelines and critical-path extraction (with hop reasons) on
+ * hand-built DAGs, plus the per-link busy accounting the simulator
+ * now attaches to every SimResult.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/run_report.h"
+#include "sim/simulator.h"
+#include "sim/task_graph.h"
+
+namespace fsmoe::sim {
+namespace {
+
+TEST(RunReport, EmptyGraphYieldsEmptyReport)
+{
+    TaskGraph g;
+    SimResult r = Simulator{}.run(g);
+    RunReport report = analyzeRun(g, r);
+    EXPECT_DOUBLE_EQ(report.makespanMs, 0.0);
+    EXPECT_TRUE(report.criticalPath.empty());
+    EXPECT_DOUBLE_EQ(report.criticalPathMs, 0.0);
+    for (const LinkUsage &u : report.links) {
+        EXPECT_DOUBLE_EQ(u.busyMs, 0.0);
+        EXPECT_EQ(u.tasks, 0);
+    }
+    // The renderer must cope with the empty report too.
+    EXPECT_FALSE(formatRunReport(g, report).empty());
+}
+
+TEST(RunReport, LinkUtilizationOnKnownTimeline)
+{
+    // compute busy 3 ms and inter-node busy 4 ms, concurrently:
+    // makespan 4, compute util 0.75, inter-node util 1.0, intra idle.
+    TaskGraph g;
+    g.addTask("c", OpType::Experts, Link::Compute, 0, 3.0);
+    g.addTask("n", OpType::AlltoAll, Link::InterNode, 1, 4.0);
+    SimResult r = Simulator{}.run(g);
+    ASSERT_DOUBLE_EQ(r.makespan, 4.0);
+    EXPECT_DOUBLE_EQ(r.busyOf(Link::Compute), 3.0);
+    EXPECT_DOUBLE_EQ(r.busyOf(Link::InterNode), 4.0);
+    EXPECT_DOUBLE_EQ(r.busyOf(Link::IntraNode), 0.0);
+
+    RunReport report = analyzeRun(g, r);
+    const LinkUsage &compute =
+        report.links[static_cast<size_t>(Link::Compute)];
+    const LinkUsage &inter =
+        report.links[static_cast<size_t>(Link::InterNode)];
+    const LinkUsage &intra =
+        report.links[static_cast<size_t>(Link::IntraNode)];
+    EXPECT_DOUBLE_EQ(compute.busyMs, 3.0);
+    EXPECT_DOUBLE_EQ(compute.utilization, 0.75);
+    EXPECT_DOUBLE_EQ(compute.idleFraction, 0.25);
+    EXPECT_EQ(compute.tasks, 1);
+    EXPECT_DOUBLE_EQ(inter.utilization, 1.0);
+    EXPECT_DOUBLE_EQ(inter.idleFraction, 0.0);
+    EXPECT_DOUBLE_EQ(intra.utilization, 0.0);
+    EXPECT_DOUBLE_EQ(intra.idleFraction, 1.0);
+}
+
+TEST(RunReport, DependencyChainIsTheCriticalPath)
+{
+    // a -> b -> c in sequence, plus a short independent task that is
+    // never critical.
+    TaskGraph g;
+    TaskId a = g.addTask("a", OpType::Experts, Link::Compute, 0, 2.0);
+    TaskId b = g.addTask("b", OpType::AlltoAll, Link::InterNode, 1, 3.0,
+                         {a});
+    TaskId c = g.addTask("c", OpType::AllGather, Link::IntraNode, 2, 4.0,
+                         {b});
+    g.addTask("idle", OpType::Experts, Link::Compute, 3, 0.5);
+    SimResult r = Simulator{}.run(g);
+    ASSERT_DOUBLE_EQ(r.makespan, 9.0);
+
+    RunReport report = analyzeRun(g, r);
+    ASSERT_EQ(report.criticalPath.size(), 3u);
+    EXPECT_EQ(report.criticalPath[0].task, a);
+    EXPECT_EQ(report.criticalPath[0].reason, HopReason::Root);
+    EXPECT_EQ(report.criticalPath[1].task, b);
+    EXPECT_EQ(report.criticalPath[1].reason, HopReason::Dependency);
+    EXPECT_EQ(report.criticalPath[2].task, c);
+    EXPECT_EQ(report.criticalPath[2].reason, HopReason::Dependency);
+    // No stream-order hops: durations cover the makespan exactly.
+    EXPECT_DOUBLE_EQ(report.criticalPathMs, 9.0);
+    EXPECT_DOUBLE_EQ(
+        report.criticalOpMs[static_cast<size_t>(OpType::Experts)], 2.0);
+    EXPECT_DOUBLE_EQ(
+        report.criticalOpMs[static_cast<size_t>(OpType::AlltoAll)], 3.0);
+    EXPECT_DOUBLE_EQ(
+        report.criticalOpMs[static_cast<size_t>(OpType::AllGather)], 4.0);
+}
+
+TEST(RunReport, LinkContentionShowsUpAsLinkWait)
+{
+    // Two independent tasks contend for the inter-node link; the
+    // second can only start when the first releases it.
+    TaskGraph g;
+    TaskId a = g.addTask("a", OpType::AlltoAll, Link::InterNode, 0, 3.0);
+    TaskId b = g.addTask("b", OpType::GradAllReduce, Link::InterNode, 1,
+                         4.0);
+    SimResult r = Simulator{}.run(g);
+    ASSERT_DOUBLE_EQ(r.makespan, 7.0);
+
+    RunReport report = analyzeRun(g, r);
+    ASSERT_EQ(report.criticalPath.size(), 2u);
+    EXPECT_EQ(report.criticalPath[0].task, a);
+    EXPECT_EQ(report.criticalPath[0].reason, HopReason::Root);
+    EXPECT_EQ(report.criticalPath[1].task, b);
+    EXPECT_EQ(report.criticalPath[1].reason, HopReason::LinkWait);
+    EXPECT_DOUBLE_EQ(report.criticalPathMs, 7.0);
+}
+
+TEST(RunReport, StreamFifoShowsUpAsStreamOrder)
+{
+    // "tail" shares a stream with "head" but uses an otherwise idle
+    // link: the only thing that delayed it was FIFO order, which gates
+    // on the predecessor's *start*.
+    TaskGraph g;
+    TaskId slow = g.addTask("slow", OpType::Experts, Link::Compute, 0,
+                            5.0);
+    TaskId head = g.addTask("head", OpType::AlltoAll, Link::InterNode, 1,
+                            1.0, {slow});
+    TaskId tail = g.addTask("tail", OpType::AllGather, Link::IntraNode, 1,
+                            4.0);
+    SimResult r = Simulator{}.run(g);
+    ASSERT_DOUBLE_EQ(r.makespan, 9.0); // tail: 5 + 4
+
+    RunReport report = analyzeRun(g, r);
+    ASSERT_EQ(report.criticalPath.size(), 3u);
+    EXPECT_EQ(report.criticalPath[0].task, slow);
+    EXPECT_EQ(report.criticalPath[0].reason, HopReason::Root);
+    EXPECT_EQ(report.criticalPath[1].task, head);
+    EXPECT_EQ(report.criticalPath[1].reason, HopReason::Dependency);
+    EXPECT_EQ(report.criticalPath[2].task, tail);
+    EXPECT_EQ(report.criticalPath[2].reason, HopReason::StreamOrder);
+    // head overlaps tail, so path durations exceed nothing but cover
+    // less than slow+head+tail laid end to end.
+    EXPECT_DOUBLE_EQ(report.criticalPath[2].startMs, 5.0);
+}
+
+TEST(RunReport, HopReasonNamesAreStable)
+{
+    EXPECT_STREQ(hopReasonName(HopReason::Root), "root");
+    EXPECT_STREQ(hopReasonName(HopReason::Dependency), "dep");
+    EXPECT_STREQ(hopReasonName(HopReason::LinkWait), "link-wait");
+    EXPECT_STREQ(hopReasonName(HopReason::StreamOrder), "stream-order");
+}
+
+TEST(RunReport, FormatMentionsLinksAndReasons)
+{
+    TaskGraph g;
+    TaskId a = g.addTask("first", OpType::Experts, Link::Compute, 0, 2.0);
+    g.addTask("second", OpType::AlltoAll, Link::InterNode, 1, 3.0, {a});
+    SimResult r = Simulator{}.run(g);
+    const std::string text = formatRunReport(g, analyzeRun(g, r));
+    EXPECT_NE(text.find("link utilization"), std::string::npos);
+    EXPECT_NE(text.find("critical path"), std::string::npos);
+    EXPECT_NE(text.find("first"), std::string::npos);
+    EXPECT_NE(text.find("second"), std::string::npos);
+    EXPECT_NE(text.find("root"), std::string::npos);
+    EXPECT_NE(text.find("dep"), std::string::npos);
+}
+
+} // namespace
+} // namespace fsmoe::sim

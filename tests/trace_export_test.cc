@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Edge-case tests for the simulated-timeline extraction (sim/trace),
+ * the Chrome trace exporter (runtime/trace_export), and the sweep's
+ * own span tracer (runtime/self_trace): empty graphs, single-task
+ * graphs, identical start-time ordering, and file round-trips.
+ */
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "runtime/self_trace.h"
+#include "runtime/trace_export.h"
+#include "sim/simulator.h"
+#include "sim/task_graph.h"
+#include "sim/trace.h"
+
+namespace fsmoe {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+TEST(TraceEvents, EmptyGraphYieldsNoEvents)
+{
+    sim::TaskGraph g;
+    sim::SimResult r = sim::Simulator{}.run(g);
+    EXPECT_TRUE(sim::traceEvents(g, r).empty());
+}
+
+TEST(TraceEvents, SingleTaskCarriesFullIdentity)
+{
+    sim::TaskGraph g;
+    g.addTask("only", sim::OpType::AlltoAll, sim::Link::InterNode, 2,
+              3.5);
+    sim::SimResult r = sim::Simulator{}.run(g);
+    const auto events = sim::traceEvents(g, r);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].id, 0);
+    EXPECT_EQ(events[0].name, "only");
+    EXPECT_EQ(events[0].op, sim::OpType::AlltoAll);
+    EXPECT_EQ(events[0].link, sim::Link::InterNode);
+    EXPECT_EQ(events[0].stream, 2);
+    EXPECT_DOUBLE_EQ(events[0].startMs, 0.0);
+    EXPECT_DOUBLE_EQ(events[0].durationMs, 3.5);
+}
+
+TEST(TraceEvents, IdenticalStartTimesKeepTaskIdOrder)
+{
+    // Three tasks on distinct links all start at t=0: the extracted
+    // order must be task-id order, not an incidental tie-break.
+    sim::TaskGraph g;
+    g.addTask("c", sim::OpType::Experts, sim::Link::Compute, 0, 2.0);
+    g.addTask("n", sim::OpType::AlltoAll, sim::Link::InterNode, 1, 2.0);
+    g.addTask("i", sim::OpType::AllGather, sim::Link::IntraNode, 2, 2.0);
+    sim::SimResult r = sim::Simulator{}.run(g);
+    const auto events = sim::traceEvents(g, r);
+    ASSERT_EQ(events.size(), 3u);
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].id, static_cast<sim::TaskId>(i));
+        EXPECT_DOUBLE_EQ(events[i].startMs, 0.0);
+    }
+    EXPECT_EQ(events[0].name, "c");
+    EXPECT_EQ(events[1].name, "n");
+    EXPECT_EQ(events[2].name, "i");
+}
+
+TEST(ChromeTrace, EmptyGraphIsStillAValidDocument)
+{
+    sim::TaskGraph g;
+    sim::SimResult r = sim::Simulator{}.run(g);
+    const std::string json = runtime::chromeTraceJson(g, r, "empty");
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"empty\""), std::string::npos);
+    EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos); // no events
+}
+
+TEST(ChromeTrace, SingleTaskEmitsOneCompleteEvent)
+{
+    sim::TaskGraph g;
+    g.addTask("solo", sim::OpType::Experts, sim::Link::Compute, 0, 1.5);
+    sim::SimResult r = sim::Simulator{}.run(g);
+    const std::string json = runtime::chromeTraceJson(g, r);
+    // One X event, millisecond times scaled to microseconds.
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_EQ(json.find("\"ph\":\"X\""), json.rfind("\"ph\":\"X\""));
+    EXPECT_NE(json.find("\"name\":\"solo\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":1500.000"), std::string::npos);
+    EXPECT_NE(json.find("\"link\":\"compute\""), std::string::npos);
+}
+
+TEST(ChromeTrace, DeterministicAndRoundTripsThroughAFile)
+{
+    sim::TaskGraph g;
+    sim::TaskId a =
+        g.addTask("a", sim::OpType::AlltoAll, sim::Link::InterNode, 0, 2.0);
+    g.addTask("b", sim::OpType::Experts, sim::Link::Compute, 1, 1.0, {a});
+    sim::SimResult r = sim::Simulator{}.run(g);
+    const std::string json = runtime::chromeTraceJson(g, r, "p");
+    EXPECT_EQ(json, runtime::chromeTraceJson(g, r, "p"));
+
+    const std::string path = testing::TempDir() + "/fsmoe_trace_test.json";
+    ASSERT_TRUE(runtime::writeChromeTrace(path, g, r, "p"));
+    EXPECT_EQ(slurp(path), json);
+}
+
+TEST(ChromeTrace, UnwritablePathReportsFailure)
+{
+    sim::TaskGraph g;
+    sim::SimResult r = sim::Simulator{}.run(g);
+    EXPECT_FALSE(runtime::writeChromeTrace(
+        "/nonexistent-dir-fsmoe/trace.json", g, r));
+}
+
+// ------------------------------------------------------- self tracing
+
+TEST(SelfTrace, DisabledSpansRecordNothing)
+{
+    runtime::SelfTrace &tracer = runtime::SelfTrace::instance();
+    tracer.disable();
+    tracer.enable(); // clear any events from other tests
+    tracer.disable();
+    {
+        runtime::SelfSpan span("ignored", "test");
+    }
+    EXPECT_EQ(tracer.eventCount(), 0u);
+}
+
+TEST(SelfTrace, EnabledSpansBecomeCompleteEvents)
+{
+    runtime::SelfTrace &tracer = runtime::SelfTrace::instance();
+    tracer.enable();
+    {
+        runtime::SelfSpan outer("outer", "test");
+        runtime::SelfSpan inner("inner", "test");
+    }
+    tracer.disable();
+    EXPECT_EQ(tracer.eventCount(), 2u);
+    const std::string json = tracer.chromeTraceJson("proc");
+    EXPECT_NE(json.find("\"outer\""), std::string::npos);
+    EXPECT_NE(json.find("\"inner\""), std::string::npos);
+    EXPECT_NE(json.find("\"proc\""), std::string::npos);
+    EXPECT_NE(json.find("worker-0"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(SelfTrace, EnableClearsPreviousEvents)
+{
+    runtime::SelfTrace &tracer = runtime::SelfTrace::instance();
+    tracer.enable();
+    {
+        runtime::SelfSpan span("first", "test");
+    }
+    EXPECT_EQ(tracer.eventCount(), 1u);
+    tracer.enable(); // restart: previous run's spans are gone
+    EXPECT_EQ(tracer.eventCount(), 0u);
+    tracer.disable();
+}
+
+TEST(SelfTrace, WriteProducesLoadableFile)
+{
+    runtime::SelfTrace &tracer = runtime::SelfTrace::instance();
+    tracer.enable();
+    {
+        runtime::SelfSpan span("persisted", "test");
+    }
+    tracer.disable();
+    const std::string path = testing::TempDir() + "/fsmoe_self_trace.json";
+    ASSERT_TRUE(tracer.write(path));
+    const std::string text = slurp(path);
+    EXPECT_NE(text.find("\"persisted\""), std::string::npos);
+    EXPECT_NE(text.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+} // namespace
+} // namespace fsmoe
