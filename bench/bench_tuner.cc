@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Measures the schedule auto-tuner end to end on the demo query: the
+ * cold search (every candidate probed through the sweep engine), a
+ * second query on the same tuner (advisor-cache hit, zero
+ * simulations), and a fresh-tuner search that shares nothing — the
+ * worst case a user pays.
+ *
+ * With `--bench-json FILE` the numbers are written as a flat JSON
+ * document (CI uploads it as BENCH_tuner.json), so advisor latency
+ * has a machine-readable trajectory across PRs like the simulator
+ * hot path does.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "base/stats.h"
+#include "bench_util.h"
+#include "runtime/tuner.h"
+
+namespace {
+
+using namespace fsmoe;
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedMs(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *json_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--bench-json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--bench-json FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    bench::header("schedule auto-tuner (demo query)");
+
+    runtime::TuneQuery query;
+    query.model = "gpt2xl-moe";
+    query.cluster = "testbedA";
+
+    // Cold: fresh tuner, fresh caches — the full search.
+    stats::Counter &sim_runs = stats::counter("sim.runs");
+    runtime::Tuner tuner;
+    const uint64_t sims_before = sim_runs.value();
+    const auto t0 = Clock::now();
+    const runtime::TuneAnswer cold = tuner.tune(query);
+    const double cold_ms = elapsedMs(t0);
+    const uint64_t cold_sims = sim_runs.value() - sims_before;
+
+    // Warm: same tuner, same query — an advisor-cache lookup.
+    const auto t1 = Clock::now();
+    const runtime::TuneAnswer warm = tuner.tune(query);
+    const double warm_ms = elapsedMs(t1);
+    if (!warm.fromCache || warm.best != cold.best) {
+        std::fprintf(stderr, "warm query was not served from cache\n");
+        return 1;
+    }
+
+    // Re-search on a fresh tuner: nothing shared, the worst case.
+    runtime::Tuner fresh;
+    const auto t2 = Clock::now();
+    (void)fresh.tune(query);
+    const double fresh_ms = elapsedMs(t2);
+
+    std::printf("best spec      : %s (%.3f ms makespan)\n",
+                cold.best.c_str(), cold.bestMakespanMs);
+    std::printf("cold search    : %8.1f ms  (%zu specs, %llu sims, "
+                "%zu on frontier)\n",
+                cold_ms, cold.evaluated,
+                static_cast<unsigned long long>(cold_sims),
+                cold.frontier.size());
+    std::printf("warm lookup    : %8.3f ms  (%.0fx faster, 0 sims)\n",
+                warm_ms, warm_ms > 0.0 ? cold_ms / warm_ms : 0.0);
+    std::printf("fresh re-search: %8.1f ms\n", fresh_ms);
+
+    if (json_path != nullptr) {
+        std::FILE *f = std::fopen(json_path, "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n", json_path);
+            return 1;
+        }
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"benchmark\": \"tuner\",\n"
+            "  \"best_spec\": \"%s\",\n"
+            "  \"best_makespan_ms\": %.6f,\n"
+            "  \"evaluated_specs\": %zu,\n"
+            "  \"frontier_size\": %zu,\n"
+            "  \"cold_sims\": %llu,\n"
+            "  \"cold_search_ms\": %.3f,\n"
+            "  \"warm_lookup_ms\": %.6f,\n"
+            "  \"fresh_research_ms\": %.3f\n"
+            "}\n",
+            cold.best.c_str(), cold.bestMakespanMs, cold.evaluated,
+            cold.frontier.size(),
+            static_cast<unsigned long long>(cold_sims), cold_ms, warm_ms,
+            fresh_ms);
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path);
+    }
+    return 0;
+}

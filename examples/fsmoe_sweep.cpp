@@ -473,10 +473,9 @@ main(int argc, char **argv)
                 return 2;
             }
         } else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
-            if (!runtime::parseShardSpec(argv[++i], &shard)) {
-                std::fprintf(stderr,
-                             "bad --shard '%s' (want K/N, 1 <= K <= N)\n",
-                             argv[i]);
+            std::string shard_error;
+            if (!runtime::parseShardSpec(argv[++i], &shard, &shard_error)) {
+                std::fprintf(stderr, "%s\n", shard_error.c_str());
                 return 2;
             }
         } else if (std::strcmp(argv[i], "--no-sim-cache") == 0) {

@@ -122,9 +122,10 @@ registerLinaSchedules(ScheduleRegistry &registry)
     info.params = {
         {"chunkMB", ScheduleParamType::Double, "30",
          "fixed gradient bucket size in MB (the paper's Lina uses 30)",
-         1.0 / 1024.0},
+         1.0 / 1024.0, 1024.0},
         {"degree", ScheduleParamType::Int, "0",
-         "fixed pipeline degree r; 0 searches 1..rMax adaptively", 0.0},
+         "fixed pipeline degree r; 0 searches 1..rMax adaptively", 0.0,
+         16.0},
     };
     registry.registerSchedule(info, [](const ScheduleParams &p) {
         const double chunk_bytes =

@@ -110,6 +110,11 @@ canonicalValue(const ScheduleParamInfo &param, const std::string &raw,
                        static_cast<int64_t>(param.minValue));
             return false;
         }
+        if (static_cast<double>(v) > param.maxValue) {
+            *why = "must be <= " + std::to_string(
+                       static_cast<int64_t>(param.maxValue));
+            return false;
+        }
         *out = std::to_string(v);
         return true;
       }
@@ -130,6 +135,12 @@ canonicalValue(const ScheduleParamInfo &param, const std::string &raw,
             char buf[32];
             std::snprintf(buf, sizeof buf, "%g", param.minValue);
             *why = std::string("must be >= ") + buf;
+            return false;
+        }
+        if (v > param.maxValue) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%g", param.maxValue);
+            *why = std::string("must be <= ") + buf;
             return false;
         }
         char buf[32];
@@ -334,6 +345,11 @@ ScheduleRegistry::registerSchedule(ScheduleInfo info, Factory factory)
             }
         }
         param_keys.push_back(norm);
+        if (p.minValue > p.maxValue) {
+            FSMOE_WARN("schedule '", info.name, "': parameter '", p.key,
+                       "' declares minValue > maxValue");
+            return false;
+        }
         if (!p.defaultValue.empty()) {
             std::string canon, why;
             if (!canonicalValue(p, p.defaultValue, &canon, &why)) {

@@ -80,6 +80,22 @@ struct ScheduleParamInfo
     std::string description;
     /// Numeric lower bound (inclusive); ignored for Bool/String.
     double minValue = std::numeric_limits<double>::lowest();
+    /// Numeric upper bound (inclusive); ignored for Bool/String.
+    double maxValue = std::numeric_limits<double>::max();
+    /**
+     * Whether an auto-tuner may search over this parameter. Tunable
+     * numeric params must declare finite min/max bounds (that pair is
+     * the search interval); modeling overrides and debug knobs should
+     * set this false so the tuner leaves them at their defaults.
+     */
+    bool tunable = true;
+
+    /// Whether both numeric bounds are finite (a searchable interval).
+    bool bounded() const
+    {
+        return minValue > std::numeric_limits<double>::lowest() &&
+               maxValue < std::numeric_limits<double>::max();
+    }
 };
 
 /** A schedule plugin's metadata. */

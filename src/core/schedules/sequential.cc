@@ -99,11 +99,11 @@ registerSequentialSchedules(ScheduleRegistry &registry)
         {"a2aOverhead", ScheduleParamType::Double, "0",
          "override for the modelled 2DH AlltoAll overhead factor; "
          "0 uses ModelCost::dsA2aOverhead",
-         0.0},
+         0.0, std::numeric_limits<double>::max(), false},
         {"kernelOverhead", ScheduleParamType::Double, "0",
          "override for the modelled unfused-kernel overhead factor; "
          "0 uses ModelCost::dsKernelOverhead",
-         0.0},
+         0.0, std::numeric_limits<double>::max(), false},
     };
     registry.registerSchedule(info, [](const ScheduleParams &p) {
         return std::make_unique<DsMoeSchedule>(

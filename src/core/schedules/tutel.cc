@@ -122,7 +122,7 @@ degreeParam()
 {
     return {"degree", ScheduleParamType::Int, "0",
             "fixed pipeline degree r; 0 searches 1..rMax adaptively",
-            0.0};
+            0.0, 16.0};
 }
 
 } // namespace

@@ -1,14 +1,14 @@
 #include "runtime/result_store.h"
 
-#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "base/json.h"
 #include "base/logging.h"
 #include "sim/trace.h"
 
@@ -31,18 +31,11 @@ linkName(size_t i)
     return sim::linkName(static_cast<sim::Link>(i));
 }
 
-/**
- * Shortest representation that re-parses to the identical bit
- * pattern: 17 significant digits are sufficient (and necessary in the
- * worst case) for IEEE-754 binary64.
- */
-std::string
-fmtDouble(double v)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    return buf;
-}
+// 17-significant-digit printing and string escaping live in base/json
+// so every persisted schema (sweep results, the tuner's advisor cache)
+// stays bit-exact the same way.
+using json::fmtDouble;
+const auto jsonEscape = json::escape;
 
 bool
 parseDouble(const std::string &text, double *out)
@@ -64,303 +57,11 @@ parseInt64(const std::string &text, int64_t *out)
     return end == text.c_str() + text.size();
 }
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-// ------------------------------------------------------------ JSON in
-
-/**
- * Minimal JSON value model + recursive-descent parser, just rich
- * enough for the result schema (and tolerant of unknown fields).
- * Object member order is preserved but lookups are by name.
- */
-struct JsonValue
-{
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string string;
-    std::vector<JsonValue> array;
-    std::vector<std::pair<std::string, JsonValue>> object;
-
-    const JsonValue *find(const char *name) const
-    {
-        for (const auto &kv : object)
-            if (kv.first == name)
-                return &kv.second;
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : s_(text) {}
-
-    bool parse(JsonValue *out, std::string *error)
-    {
-        skipWs();
-        if (!value(out))
-            return fail(error);
-        skipWs();
-        if (pos_ != s_.size())
-            return fail(error, "trailing characters");
-        return true;
-    }
-
-  private:
-    bool fail(std::string *error, const char *what = "malformed JSON")
-    {
-        if (error) {
-            std::ostringstream oss;
-            oss << what << " at byte " << pos_;
-            *error = oss.str();
-        }
-        return false;
-    }
-
-    bool value(JsonValue *out)
-    {
-        // Recursion guard: reject pathological nesting instead of
-        // overflowing the stack on attacker-shaped input.
-        if (depth_ >= 64)
-            return false;
-        ++depth_;
-        const bool ok = valueInner(out);
-        --depth_;
-        return ok;
-    }
-
-    bool valueInner(JsonValue *out)
-    {
-        skipWs();
-        switch (peek()) {
-          case '{': return object(out);
-          case '[': return array(out);
-          case '"':
-            out->kind = JsonValue::Kind::String;
-            return string(&out->string);
-          case 't': return literal("true", out, true);
-          case 'f': return literal("false", out, false);
-          case 'n':
-            out->kind = JsonValue::Kind::Null;
-            return word("null");
-          default: return number(out);
-        }
-    }
-
-    bool object(JsonValue *out)
-    {
-        out->kind = JsonValue::Kind::Object;
-        ++pos_; // '{'
-        skipWs();
-        if (peek() == '}') {
-            ++pos_;
-            return true;
-        }
-        for (;;) {
-            skipWs();
-            std::string name;
-            if (!string(&name))
-                return false;
-            skipWs();
-            if (peek() != ':')
-                return false;
-            ++pos_;
-            JsonValue member;
-            if (!value(&member))
-                return false;
-            out->object.emplace_back(std::move(name), std::move(member));
-            skipWs();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            if (peek() == '}') {
-                ++pos_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool array(JsonValue *out)
-    {
-        out->kind = JsonValue::Kind::Array;
-        ++pos_; // '['
-        skipWs();
-        if (peek() == ']') {
-            ++pos_;
-            return true;
-        }
-        for (;;) {
-            JsonValue element;
-            if (!value(&element))
-                return false;
-            out->array.push_back(std::move(element));
-            skipWs();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            if (peek() == ']') {
-                ++pos_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool string(std::string *out)
-    {
-        if (peek() != '"')
-            return false;
-        ++pos_;
-        out->clear();
-        while (pos_ < s_.size() && s_[pos_] != '"') {
-            char c = s_[pos_++];
-            if (c != '\\') {
-                *out += c;
-                continue;
-            }
-            if (pos_ >= s_.size())
-                return false;
-            char esc = s_[pos_++];
-            switch (esc) {
-              case '"': *out += '"'; break;
-              case '\\': *out += '\\'; break;
-              case '/': *out += '/'; break;
-              case 'b': *out += '\b'; break;
-              case 'f': *out += '\f'; break;
-              case 'n': *out += '\n'; break;
-              case 'r': *out += '\r'; break;
-              case 't': *out += '\t'; break;
-              case 'u': {
-                if (pos_ + 4 > s_.size())
-                    return false;
-                unsigned code = 0;
-                for (int i = 0; i < 4; ++i) {
-                    char h = s_[pos_++];
-                    code <<= 4;
-                    if (h >= '0' && h <= '9')
-                        code += static_cast<unsigned>(h - '0');
-                    else if (h >= 'a' && h <= 'f')
-                        code += static_cast<unsigned>(h - 'a' + 10);
-                    else if (h >= 'A' && h <= 'F')
-                        code += static_cast<unsigned>(h - 'A' + 10);
-                    else
-                        return false;
-                }
-                // The writer only emits \u00xx control escapes;
-                // reject anything wider rather than mis-decode it.
-                if (code > 0xff)
-                    return false;
-                *out += static_cast<char>(code);
-                break;
-              }
-              default: return false;
-            }
-        }
-        if (pos_ >= s_.size())
-            return false;
-        ++pos_; // closing quote
-        return true;
-    }
-
-    bool number(JsonValue *out)
-    {
-        size_t start = pos_;
-        if (peek() == '-')
-            ++pos_;
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-                s_[pos_] == '+' || s_[pos_] == '-'))
-            ++pos_;
-        if (pos_ == start)
-            return false;
-        out->kind = JsonValue::Kind::Number;
-        return parseDouble(s_.substr(start, pos_ - start), &out->number);
-    }
-
-    bool literal(const char *text, JsonValue *out, bool value)
-    {
-        out->kind = JsonValue::Kind::Bool;
-        out->boolean = value;
-        return word(text);
-    }
-
-    bool word(const char *text)
-    {
-        size_t n = std::strlen(text);
-        if (s_.compare(pos_, n, text) != 0)
-            return false;
-        pos_ += n;
-        return true;
-    }
-
-    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-    void skipWs()
-    {
-        while (pos_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-
-    const std::string &s_;
-    size_t pos_ = 0;
-    int depth_ = 0;
-};
-
-bool
-jsonString(const JsonValue *v, std::string *out)
-{
-    if (v == nullptr || v->kind != JsonValue::Kind::String)
-        return false;
-    *out = v->string;
-    return true;
-}
-
-bool
-jsonNumber(const JsonValue *v, double *out)
-{
-    if (v == nullptr || v->kind != JsonValue::Kind::Number)
-        return false;
-    *out = v->number;
-    return true;
-}
-
-bool
-jsonInt(const JsonValue *v, int64_t *out)
-{
-    double d;
-    if (!jsonNumber(v, &d))
-        return false;
-    *out = static_cast<int64_t>(d);
-    return true;
-}
+// JSON-in goes through base/json (json::parse and the typed member
+// accessors); aliases keep the reader code below reading naturally.
+const auto jsonString = json::asString;
+const auto jsonNumber = json::asNumber;
+const auto jsonInt = json::asInt;
 
 // ------------------------------------------------------------- CSV
 
@@ -620,10 +321,10 @@ bool
 parseJson(const std::string &text, std::vector<SweepResult> *out,
           std::string *error)
 {
-    JsonValue root;
-    if (!JsonParser(text).parse(&root, error))
+    json::Value root;
+    if (!json::parse(text, &root, error))
         return false;
-    if (root.kind != JsonValue::Kind::Object) {
+    if (root.kind != json::Value::Kind::Object) {
         if (error)
             *error = "top level is not an object";
         return false;
@@ -635,8 +336,8 @@ parseJson(const std::string &text, std::vector<SweepResult> *out,
             *error = "missing or unknown \"schema\"";
         return false;
     }
-    const JsonValue *results = root.find("results");
-    if (results == nullptr || results->kind != JsonValue::Kind::Array) {
+    const json::Value *results = root.find("results");
+    if (results == nullptr || results->kind != json::Value::Kind::Array) {
         if (error)
             *error = "missing \"results\" array";
         return false;
@@ -645,7 +346,7 @@ parseJson(const std::string &text, std::vector<SweepResult> *out,
     out->clear();
     out->reserve(results->array.size());
     for (size_t i = 0; i < results->array.size(); ++i) {
-        const JsonValue &entry = results->array[i];
+        const json::Value &entry = results->array[i];
         const auto bad = [&](const char *field) {
             if (error) {
                 std::ostringstream oss;
@@ -655,7 +356,7 @@ parseJson(const std::string &text, std::vector<SweepResult> *out,
             }
             return false;
         };
-        if (entry.kind != JsonValue::Kind::Object) {
+        if (entry.kind != json::Value::Kind::Object) {
             if (error)
                 *error = "results entry is not an object";
             return false;
@@ -683,8 +384,8 @@ parseJson(const std::string &text, std::vector<SweepResult> *out,
         r.rMax = static_cast<int>(n);
         if (!jsonNumber(entry.find("makespan_ms"), &r.makespanMs))
             return bad("makespan_ms");
-        const JsonValue *ops = entry.find("op_time_ms");
-        if (ops == nullptr || ops->kind != JsonValue::Kind::Object)
+        const json::Value *ops = entry.find("op_time_ms");
+        if (ops == nullptr || ops->kind != json::Value::Kind::Object)
             return bad("op_time_ms");
         for (size_t op = 0; op < kNumOps; ++op) {
             if (!jsonNumber(ops->find(opName(op)), &r.opTimeMs[op]))
@@ -692,9 +393,9 @@ parseJson(const std::string &text, std::vector<SweepResult> *out,
         }
         // Optional link breakdown (written with include_link_stats);
         // absent in older files, which parse identically to before.
-        const JsonValue *links = entry.find("link_busy_ms");
+        const json::Value *links = entry.find("link_busy_ms");
         if (links != nullptr) {
-            if (links->kind != JsonValue::Kind::Object)
+            if (links->kind != json::Value::Kind::Object)
                 return bad("link_busy_ms");
             for (size_t li = 0; li < kNumLinks; ++li) {
                 if (!jsonNumber(links->find(linkName(li)),
@@ -830,6 +531,14 @@ DiffReport::exceeding(double tolerance_frac) const
 {
     std::vector<const DiffEntry *> out;
     for (const DiffEntry &e : matched) {
+        // A non-finite makespan on either side is never comparable: a
+        // NaN would otherwise slip through every tolerance (NaN > tol
+        // is false) and an inf pair would "match" itself. Both mean
+        // the producing run was broken, so they always fail the gate.
+        if (!std::isfinite(e.baselineMs) || !std::isfinite(e.currentMs)) {
+            out.push_back(&e);
+            continue;
+        }
         const double rel = e.relDelta();
         if (rel > tolerance_frac || rel < -tolerance_frac)
             out.push_back(&e);

@@ -153,7 +153,12 @@ struct DiffReport
     std::vector<std::string> onlyCurrent;  ///< In current, not baseline.
     std::vector<std::string> duplicateKeys;
 
-    /** Entries whose |relDelta()| exceeds @p tolerance_frac. */
+    /**
+     * Entries whose |relDelta()| exceeds @p tolerance_frac. An entry
+     * with a non-finite makespan (NaN or inf) on either side is always
+     * included: such values mean the producing run was broken, and NaN
+     * in particular would otherwise pass every tolerance silently.
+     */
     std::vector<const DiffEntry *> exceeding(double tolerance_frac) const;
 
     /**

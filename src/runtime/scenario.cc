@@ -1,6 +1,8 @@
 #include "runtime/scenario.h"
 
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "base/logging.h"
@@ -248,21 +250,38 @@ ScenarioGrid::build() const
 }
 
 bool
-parseShardSpec(const std::string &text, ShardSpec *spec)
+parseShardSpec(const std::string &text, ShardSpec *spec,
+               std::string *error)
 {
+    const auto fail = [&](const std::string &why) {
+        if (error)
+            *error = "bad shard spec '" + text + "': " + why;
+        return false;
+    };
     const size_t slash = text.find('/');
     if (slash == std::string::npos || slash == 0 ||
         slash + 1 >= text.size())
-        return false;
+        return fail("expected K/N, e.g. 2/4");
+    errno = 0;
     char *end = nullptr;
     const long k = std::strtol(text.c_str(), &end, 10);
     if (end != text.c_str() + slash)
-        return false;
+        return fail("shard index K is not an integer");
+    const bool k_overflow = errno == ERANGE;
+    errno = 0;
     const long n = std::strtol(text.c_str() + slash + 1, &end, 10);
     if (end != text.c_str() + text.size())
-        return false;
-    if (k < 1 || n < 1 || k > n)
-        return false;
+        return fail("shard count N is not an integer");
+    // strtol saturates out-of-range input at LONG_MIN/LONG_MAX, and a
+    // long may also hold values that would silently wrap when cast to
+    // the int fields below — reject both explicitly.
+    constexpr long kIntMax = std::numeric_limits<int>::max();
+    if (k_overflow || errno == ERANGE || k > kIntMax || n > kIntMax)
+        return fail("value out of range (must fit a 32-bit int)");
+    if (n < 1)
+        return fail("shard count N must be >= 1");
+    if (k < 1 || k > n)
+        return fail("shard index K must be in [1, N]");
     spec->index = static_cast<int>(k);
     spec->count = static_cast<int>(n);
     return true;

@@ -172,9 +172,13 @@ struct ShardSpec
 
 /**
  * Parse "K/N" (e.g. "2/4") into a ShardSpec. Returns false unless
- * both are integers with 1 <= K <= N.
+ * both are integers with 1 <= K <= N that fit a 32-bit int — K > N,
+ * N == 0, and overflowing values are all rejected, never collapsed
+ * into an empty or wrong shard. On failure *error (when non-null)
+ * explains which constraint was violated.
  */
-bool parseShardSpec(const std::string &text, ShardSpec *spec);
+bool parseShardSpec(const std::string &text, ShardSpec *spec,
+                    std::string *error = nullptr);
 
 /**
  * The contiguous slice of @p scenarios belonging to @p shard:

@@ -192,6 +192,18 @@ SweepEngine::timedSimulate(const Scenario &s, const core::ModelCost &cost,
 }
 
 std::vector<ScenarioResult>
+SweepEngine::run(const std::vector<Scenario> &scenarios, bool keep_graphs)
+{
+    // run() is documented non-concurrent, so a scoped swap of the
+    // option is safe and keeps one code path.
+    const bool saved = options_.keepGraphs;
+    options_.keepGraphs = keep_graphs;
+    auto results = run(scenarios);
+    options_.keepGraphs = saved;
+    return results;
+}
+
+std::vector<ScenarioResult>
 SweepEngine::run(const std::vector<Scenario> &scenarios)
 {
     const auto t0 = std::chrono::steady_clock::now();

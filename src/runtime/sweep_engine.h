@@ -100,6 +100,16 @@ class SweepEngine
      */
     std::vector<ScenarioResult> run(const std::vector<Scenario> &scenarios);
 
+    /**
+     * run() with SweepOptions::keepGraphs overridden for this call
+     * only. Lets one engine interleave cached probe sweeps
+     * (keep_graphs = false, SimResult cache active) with graph-bearing
+     * metric passes (keep_graphs = true) without rebuilding its caches
+     * — the tuner's frontier pass relies on this.
+     */
+    std::vector<ScenarioResult> run(const std::vector<Scenario> &scenarios,
+                                    bool keep_graphs);
+
     const SweepOptions &options() const { return options_; }
     SweepStats stats() const;
 

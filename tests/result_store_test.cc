@@ -4,8 +4,10 @@
  * round-trips, regression-diff gating, shard partitioning, and shard
  * merging back into the unsharded sweep.
  */
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <set>
 #include <string>
 #include <vector>
@@ -343,6 +345,128 @@ TEST(ResultStore, ParseShardSpecAcceptsOnlyValidRanges)
     EXPECT_FALSE(parseShardSpec("3/2", &spec));
     EXPECT_FALSE(parseShardSpec("a/b", &spec));
     EXPECT_FALSE(parseShardSpec("1/2/3", &spec));
+}
+
+TEST(ResultStore, ParseShardSpecExplainsRejectionsAndRejectsOverflow)
+{
+    ShardSpec spec{-7, -7};
+    std::string error;
+
+    // K > N and N == 0 name the violated constraint, not just "false".
+    EXPECT_FALSE(parseShardSpec("3/2", &spec, &error));
+    EXPECT_NE(error.find("'3/2'"), std::string::npos) << error;
+    EXPECT_NE(error.find("K must be in [1, N]"), std::string::npos)
+        << error;
+    EXPECT_FALSE(parseShardSpec("0/0", &spec, &error));
+    EXPECT_NE(error.find("N must be >= 1"), std::string::npos) << error;
+    EXPECT_FALSE(parseShardSpec("nope", &spec, &error));
+    EXPECT_NE(error.find("K/N"), std::string::npos) << error;
+
+    // Values beyond 32 bits used to wrap through the int cast and
+    // silently select the wrong shard (4294967297 -> 1); they must be
+    // rejected, including strtol-saturating digit strings.
+    EXPECT_FALSE(parseShardSpec("4294967297/4294967298", &spec, &error));
+    EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+    EXPECT_FALSE(
+        parseShardSpec("1/99999999999999999999999999", &spec, &error));
+    EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+
+    // Failures never partially update the output spec.
+    EXPECT_EQ(spec.index, -7);
+    EXPECT_EQ(spec.count, -7);
+
+    // The error argument stays optional.
+    EXPECT_FALSE(parseShardSpec("3/2", &spec));
+    ASSERT_TRUE(parseShardSpec("2147483647/2147483647", &spec, &error));
+    EXPECT_EQ(spec.index, 2147483647);
+}
+
+TEST(ResultStore, MergeAutoDetectsMixedShapeShards)
+{
+    // One sweep, split in two, persisted in the two on-disk shapes:
+    // shard A without the link-util columns (old shape), shard B with
+    // them (new shape). A single mergeResults call over what the
+    // readers auto-detected must reassemble the full sweep.
+    const auto full = sweptResults();
+    ASSERT_GE(full.size(), 4u);
+    const size_t half = full.size() / 2;
+    const std::vector<SweepResult> a(full.begin(), full.begin() + half);
+    const std::vector<SweepResult> b(full.begin() + half, full.end());
+
+    std::vector<SweepResult> a_read, b_read;
+    std::string error;
+    ASSERT_TRUE(parseJson(toJson(a, /*include_link_stats=*/false),
+                          &a_read, &error))
+        << error;
+    ASSERT_TRUE(parseCsv(toCsv(b, /*include_link_stats=*/true), &b_read,
+                         &error))
+        << error;
+    for (const SweepResult &r : a_read)
+        EXPECT_FALSE(r.hasLinkStats) << r.key();
+    for (const SweepResult &r : b_read)
+        EXPECT_TRUE(r.hasLinkStats) << r.key();
+
+    std::vector<SweepResult> merged;
+    ASSERT_TRUE(mergeResults({a_read, b_read}, &merged, &error)) << error;
+    expectBitEqual(merged, full);
+
+    // The merged set diffs clean against the original sweep even
+    // though its rows disagree about carrying link stats.
+    EXPECT_TRUE(diffResults(full, merged).passes(0.0));
+}
+
+TEST(ResultStore, DiffTreatsNonFiniteMakespansAsExceeding)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    auto row = [](const char *model, double ms) {
+        SweepResult r;
+        r.model = model;
+        r.makespanMs = ms;
+        return r;
+    };
+
+    // NaN drift would otherwise sail through every tolerance (NaN
+    // comparisons are all false), and inf == inf would "match".
+    const std::vector<SweepResult> baseline = {
+        row("m-nan", 100.0), row("m-inf", inf), row("m-nan2", nan),
+        row("m-ok", 100.0)};
+    const std::vector<SweepResult> current = {
+        row("m-nan", nan), row("m-inf", inf), row("m-nan2", nan),
+        row("m-ok", 100.0)};
+    const DiffReport report = diffResults(baseline, current);
+    ASSERT_EQ(report.matched.size(), 4u);
+
+    const auto bad = report.exceeding(/*tolerance_frac=*/1e9);
+    ASSERT_EQ(bad.size(), 3u);
+    std::set<std::string> keys;
+    for (const DiffEntry *e : bad)
+        keys.insert(e->key);
+    EXPECT_EQ(keys, (std::set<std::string>{
+                        row("m-nan", 0).key(), row("m-inf", 0).key(),
+                        row("m-nan2", 0).key()}));
+    EXPECT_FALSE(report.passes(1e9));
+}
+
+TEST(ResultStore, DiffToleranceBoundaryIsInclusive)
+{
+    auto row = [](double ms) {
+        SweepResult r;
+        r.model = "m";
+        r.makespanMs = ms;
+        return r;
+    };
+    // Drift of exactly the tolerance passes (the gate is "exceeds"),
+    // one ulp beyond fails, and the bound is symmetric.
+    const double tol = (101.0 - 100.0) / 100.0;
+    EXPECT_TRUE(diffResults({row(100.0)}, {row(101.0)}).passes(tol));
+    EXPECT_TRUE(diffResults({row(100.0)}, {row(99.0)}).passes(tol));
+    EXPECT_FALSE(diffResults({row(100.0)},
+                             {row(std::nextafter(101.0, 1e9))})
+                     .passes(tol));
+    EXPECT_FALSE(diffResults({row(100.0)}, {row(98.999999)}).passes(tol));
+    // Zero tolerance still accepts bit-identical rows.
+    EXPECT_TRUE(diffResults({row(100.0)}, {row(100.0)}).passes(0.0));
 }
 
 TEST(ResultStore, MergedShardSweepsAreBitIdenticalToUnsharded)

@@ -10,7 +10,9 @@
  * *only* the built-ins.
  */
 #include <atomic>
+#include <cstdio>
 #include <memory>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -346,6 +348,148 @@ TEST(ScheduleRegistry, ParamBagExposesTypedValuesToFactories)
     sched = reg.create("registry-test-probe");
     EXPECT_FALSE(seen.has("count"));
     EXPECT_EQ(seen.getInt("count", 1), 1);
+}
+
+// ------------------------------------------------------- bounds (max)
+
+TEST(ScheduleRegistry, UpperBoundsAreEnforcedWithTheParamName)
+{
+    ScheduleRegistry &reg = ScheduleRegistry::instance();
+    std::string error;
+    // degree declares max 16 (the demo rMax ceiling).
+    EXPECT_EQ(reg.tryCreate("tutel?degree=17", &error), nullptr);
+    EXPECT_NE(error.find("must be <= 16"), std::string::npos) << error;
+    EXPECT_NE(error.find("'degree'"), std::string::npos) << error;
+    EXPECT_NE(reg.tryCreate("tutel?degree=16", &error), nullptr) << error;
+    // chunkMB declares max 1024.
+    EXPECT_EQ(reg.tryCreate("lina?chunkMB=1025", &error), nullptr);
+    EXPECT_NE(error.find("must be <= 1024"), std::string::npos) << error;
+    EXPECT_NE(error.find("'chunkMB'"), std::string::npos) << error;
+
+    // A default outside [min, max], or min > max, rejects registration.
+    ScheduleInfo info;
+    info.name = "registry-test-maxbound";
+    info.params = {{"k", ScheduleParamType::Int, "9", "", 0.0, 8.0}};
+    EXPECT_FALSE(reg.registerSchedule(info, nullFactory()));
+    info.params = {{"k", ScheduleParamType::Int, "4", "", 8.0, 0.0}};
+    EXPECT_FALSE(reg.registerSchedule(info, nullFactory()));
+    info.params = {{"k", ScheduleParamType::Int, "4", "", 0.0, 8.0}};
+    EXPECT_TRUE(reg.registerSchedule(info, nullFactory()));
+}
+
+// ------------------------------------------------- fuzz: canonical specs
+
+/**
+ * Property test over random parameter bags: any spec the registry
+ * accepts must round-trip exactly (create -> canonical spec ->
+ * re-parse -> identical spec and identical canonicalization), and any
+ * out-of-bounds value must be rejected with the parameter's canonical
+ * name in the message. Runs against a test plugin covering all four
+ * param types plus every built-in schedule.
+ */
+TEST(ScheduleRegistry, FuzzRandomParamBagsRoundTripOrFailWithParamName)
+{
+    ScheduleRegistry &reg = ScheduleRegistry::instance();
+    ScheduleInfo info;
+    info.name = "registry-test-fuzz";
+    info.params = {
+        {"count", ScheduleParamType::Int, "3", "", 1.0, 64.0},
+        {"scale", ScheduleParamType::Double, "1.5", "", 0.25, 8.0},
+        {"flag", ScheduleParamType::Bool, "false", ""},
+        {"tag", ScheduleParamType::String, "x", ""},
+    };
+    ASSERT_TRUE(reg.registerSchedule(info, nullFactory()));
+
+    std::mt19937_64 rng(0xf5a0e7u);
+    std::uniform_int_distribution<int> count_dist(-8, 80);
+    std::uniform_real_distribution<double> scale_dist(-1.0, 10.0);
+    std::uniform_int_distribution<int> coin(0, 1);
+
+    int accepted = 0;
+    int rejected = 0;
+    for (int iter = 0; iter < 400; ++iter) {
+        const int count = count_dist(rng);
+        const double scale = scale_dist(rng);
+        const bool flag = coin(rng) == 1;
+        char scale_text[32];
+        std::snprintf(scale_text, sizeof scale_text, "%.17g", scale);
+        const std::string spec =
+            "registry-test-fuzz?count=" + std::to_string(count) +
+            "&scale=" + scale_text + "&flag=" + (flag ? "on" : "0") +
+            "&tag=t" + std::to_string(iter % 7);
+        const bool in_bounds = count >= 1 && count <= 64 &&
+                               scale >= 0.25 && scale <= 8.0;
+
+        std::string error;
+        auto sched = reg.tryCreate(spec, &error);
+        if (!in_bounds) {
+            ++rejected;
+            ASSERT_EQ(sched, nullptr) << spec;
+            // The offending parameter is named canonically.
+            const bool names_param =
+                error.find(count < 1 || count > 64 ? "'count'"
+                                                   : "'scale'") !=
+                std::string::npos;
+            EXPECT_TRUE(names_param) << spec << " -> " << error;
+            continue;
+        }
+        ++accepted;
+        ASSERT_NE(sched, nullptr) << spec << " -> " << error;
+
+        // Round trip 1: the canonical spec re-parses to itself.
+        const std::string canonical = sched->spec();
+        std::string recanonical;
+        ASSERT_TRUE(reg.canonicalize(canonical, &recanonical, &error))
+            << canonical << " -> " << error;
+        EXPECT_EQ(recanonical, canonical) << spec;
+
+        // Round trip 2: re-creating from the canonical spec yields the
+        // same schedule identity (name + spec), bit-exact doubles
+        // included.
+        auto again = reg.tryCreate(canonical, &error);
+        ASSERT_NE(again, nullptr) << canonical << " -> " << error;
+        EXPECT_EQ(again->spec(), canonical);
+        EXPECT_EQ(again->name(), sched->name());
+    }
+    // The ranges above make both outcomes common; guard the generator.
+    EXPECT_GT(accepted, 50);
+    EXPECT_GT(rejected, 50);
+
+    // The built-ins round-trip too, across their whole declared grid.
+    for (const ScheduleInfo &builtin : reg.list()) {
+        for (int variant = 0; variant < 8; ++variant) {
+            std::string spec = builtin.name;
+            char sep = '?';
+            for (const ScheduleParamInfo &p : builtin.params) {
+                if (p.type == ScheduleParamType::String ||
+                    (p.type != ScheduleParamType::Bool && !p.bounded()))
+                    continue;
+                const double frac = variant / 7.0;
+                std::string value;
+                if (p.type == ScheduleParamType::Bool) {
+                    value = variant % 2 == 0 ? "false" : "true";
+                } else if (p.type == ScheduleParamType::Int) {
+                    value = std::to_string(static_cast<int64_t>(
+                        p.minValue + frac * (p.maxValue - p.minValue)));
+                } else {
+                    char buf[32];
+                    std::snprintf(buf, sizeof buf, "%.17g",
+                                  p.minValue +
+                                      frac * (p.maxValue - p.minValue));
+                    value = buf;
+                }
+                spec += sep;
+                spec += p.key + "=" + value;
+                sep = '&';
+            }
+            std::string canonical, recanonical, error;
+            ASSERT_TRUE(reg.canonicalize(spec, &canonical, &error))
+                << spec << " -> " << error;
+            ASSERT_TRUE(reg.canonicalize(canonical, &recanonical, &error))
+                << canonical << " -> " << error;
+            EXPECT_EQ(recanonical, canonical) << spec;
+        }
+    }
 }
 
 // ----------------------------------------------------------- threading

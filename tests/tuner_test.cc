@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Tests for the schedule auto-tuner: Pareto-dominance invariants on
+ * hand-built cost sets, byte-determinism of the search (repeat runs
+ * and serial == parallel), the cached-advisor hit path (zero new
+ * simulations, byte-identical warm answers, persistence round-trip),
+ * an oracle check that the tuner's pick matches an independent
+ * exhaustive grid search, and the peak-memory metric.
+ *
+ * Tuner searches here use a small query (Testbed B, short sequences,
+ * low rMax) so a full search stays fast; registrations are
+ * process-wide, so plugins registered here use test-unique names.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/stats.h"
+#include "core/schedules/schedule.h"
+#include "core/schedules/schedule_registry.h"
+#include "runtime/tuner.h"
+#include "sim/simulator.h"
+
+namespace fsmoe::runtime {
+namespace {
+
+TuneQuery
+smallQuery()
+{
+    TuneQuery q;
+    q.model = "gpt2xl-moe";
+    q.cluster = "testbedB";
+    q.batch = 1;
+    q.seqLen = 256;
+    q.rMax = 4;
+    return q;
+}
+
+TuneCandidate
+cand(const char *spec, double makespan, double comm, double mem)
+{
+    TuneCandidate c;
+    c.spec = spec;
+    c.makespanMs = makespan;
+    c.commBusyMs = comm;
+    c.peakMemMB = mem;
+    return c;
+}
+
+std::vector<std::string>
+specsOf(const std::vector<TuneCandidate> &cs)
+{
+    std::vector<std::string> out;
+    for (const TuneCandidate &c : cs)
+        out.push_back(c.spec);
+    return out;
+}
+
+// ------------------------------------------------- Pareto invariants
+
+TEST(ParetoFrontier, SinglePointSurvives)
+{
+    const auto f = paretoFrontier({cand("a", 1, 1, 1)});
+    EXPECT_EQ(specsOf(f), std::vector<std::string>{"a"});
+}
+
+TEST(ParetoFrontier, DominatedPointsAreRemoved)
+{
+    // "best" dominates everything: no worse anywhere, better somewhere.
+    const auto f = paretoFrontier({
+        cand("worse-everywhere", 3, 3, 3),
+        cand("best", 1, 1, 1),
+        cand("worse-on-one-axis", 1, 1, 2),
+        cand("equal-two-axes", 2, 1, 1),
+    });
+    EXPECT_EQ(specsOf(f), std::vector<std::string>{"best"});
+}
+
+TEST(ParetoFrontier, TradeoffsAllSurviveSorted)
+{
+    // A three-way tradeoff: each point is best on one objective.
+    const auto f = paretoFrontier({
+        cand("low-mem", 3, 3, 1),
+        cand("fast", 1, 3, 3),
+        cand("low-comm", 3, 1, 3),
+    });
+    EXPECT_EQ(specsOf(f), (std::vector<std::string>{
+                              "fast", "low-comm", "low-mem"}));
+    // Sorted by makespan first, then comm.
+    EXPECT_LE(f[0].makespanMs, f[1].makespanMs);
+    EXPECT_LE(f[1].commBusyMs, f[2].commBusyMs);
+}
+
+TEST(ParetoFrontier, NoSurvivorDominatesAnother)
+{
+    // Random-ish fixed set; re-check the frontier definition directly.
+    std::vector<TuneCandidate> pts;
+    for (int i = 0; i < 5; ++i)
+        for (int j = 0; j < 5; ++j)
+            pts.push_back(cand(("p" + std::to_string(i * 5 + j)).c_str(),
+                               i, j, (i * 3 + j * 7) % 5));
+    const auto f = paretoFrontier(pts);
+    ASSERT_FALSE(f.empty());
+    const auto dominates = [](const TuneCandidate &a,
+                              const TuneCandidate &b) {
+        return a.makespanMs <= b.makespanMs &&
+               a.commBusyMs <= b.commBusyMs &&
+               a.peakMemMB <= b.peakMemMB &&
+               (a.makespanMs < b.makespanMs ||
+                a.commBusyMs < b.commBusyMs || a.peakMemMB < b.peakMemMB);
+    };
+    for (const TuneCandidate &a : f)
+        for (const TuneCandidate &b : f)
+            EXPECT_FALSE(dominates(a, b))
+                << a.spec << " dominates " << b.spec;
+    // And every eliminated point is dominated by some survivor.
+    for (const TuneCandidate &p : pts) {
+        const bool kept =
+            std::any_of(f.begin(), f.end(), [&](const TuneCandidate &s) {
+                return s.spec == p.spec;
+            });
+        if (kept)
+            continue;
+        EXPECT_TRUE(std::any_of(f.begin(), f.end(),
+                                [&](const TuneCandidate &s) {
+                                    return dominates(s, p);
+                                }))
+            << p.spec << " was dropped but nothing dominates it";
+    }
+}
+
+TEST(ParetoFrontier, DuplicateSpecsCollapseKeepingFirst)
+{
+    const auto f = paretoFrontier({
+        cand("dup", 1, 1, 1),
+        cand("dup", 9, 9, 9),
+        cand("other", 1, 1, 2),
+    });
+    ASSERT_EQ(f.size(), 1u) << "first 'dup' should dominate 'other'";
+    EXPECT_EQ(f[0].spec, "dup");
+    EXPECT_EQ(f[0].makespanMs, 1.0);
+}
+
+TEST(ParetoFrontier, EqualObjectivesBothSurvive)
+{
+    // Neither dominates the other (nothing strictly better).
+    const auto f = paretoFrontier({
+        cand("b", 1, 1, 1),
+        cand("a", 1, 1, 1),
+    });
+    EXPECT_EQ(specsOf(f), (std::vector<std::string>{"a", "b"}));
+}
+
+// ---------------------------------------------------- peak-mem metric
+
+TEST(PeakConcurrentComm, OverlapRaisesThePeak)
+{
+    core::PerfModelSet models;
+    models.alltoall = {0.0, 1.0 / (1 << 20), 1.0}; // 1 ms per MB
+    models.allgather = models.alltoall;
+
+    // Two 1 MB transfers on different links: sequential in one graph,
+    // dependency-free (overlapping) in the other.
+    sim::TaskGraph overlap;
+    overlap.addTask("a2a", sim::OpType::AlltoAll, sim::Link::InterNode, 0,
+                    1.0, {});
+    overlap.addTask("ag", sim::OpType::AllGather, sim::Link::IntraNode, 1,
+                    1.0, {});
+    sim::TaskGraph sequential;
+    const auto first = sequential.addTask("a2a", sim::OpType::AlltoAll,
+                                          sim::Link::InterNode, 0, 1.0, {});
+    sequential.addTask("ag", sim::OpType::AllGather, sim::Link::IntraNode,
+                       1, 1.0, {first});
+
+    const double peak_overlap = peakConcurrentCommMB(
+        overlap, sim::Simulator{}.run(overlap), models);
+    const double peak_sequential = peakConcurrentCommMB(
+        sequential, sim::Simulator{}.run(sequential), models);
+    EXPECT_DOUBLE_EQ(peak_overlap, 2.0);
+    EXPECT_DOUBLE_EQ(peak_sequential, 1.0);
+}
+
+TEST(PeakConcurrentComm, ComputeTasksContributeNothing)
+{
+    core::PerfModelSet models;
+    models.gemm = {0.0, 1.0, 1.0};
+    sim::TaskGraph g;
+    g.addTask("experts", sim::OpType::Experts, sim::Link::Compute, 0, 5.0,
+              {});
+    EXPECT_DOUBLE_EQ(
+        peakConcurrentCommMB(g, sim::Simulator{}.run(g), models), 0.0);
+}
+
+// ------------------------------------------------------- determinism
+
+TEST(Tuner, RepeatSearchesAreByteIdentical)
+{
+    // Two fresh tuners (nothing shared) must serialize identically.
+    Tuner first;
+    Tuner second;
+    const TuneAnswer a = first.tune(smallQuery());
+    const TuneAnswer b = second.tune(smallQuery());
+    EXPECT_FALSE(a.fromCache);
+    EXPECT_FALSE(b.fromCache);
+    EXPECT_EQ(Tuner::answerJson(a), Tuner::answerJson(b));
+}
+
+TEST(Tuner, SerialAndParallelSearchesAgree)
+{
+    TuneOptions serial;
+    serial.numThreads = 1;
+    TuneOptions parallel;
+    parallel.numThreads = 4;
+    Tuner st(serial);
+    Tuner pt(parallel);
+    EXPECT_EQ(Tuner::answerJson(st.tune(smallQuery())),
+              Tuner::answerJson(pt.tune(smallQuery())));
+}
+
+// ------------------------------------------------- advisor cache path
+
+TEST(Tuner, WarmQueryIsServedFromCacheWithZeroSimulations)
+{
+    Tuner tuner;
+    const TuneAnswer cold = tuner.tune(smallQuery());
+    ASSERT_FALSE(cold.fromCache);
+
+    const uint64_t sims_before = stats::counter("sim.runs").value();
+    const TuneAnswer warm = tuner.tune(smallQuery());
+    const uint64_t sims_after = stats::counter("sim.runs").value();
+
+    EXPECT_TRUE(warm.fromCache);
+    EXPECT_EQ(sims_after, sims_before)
+        << "a warm advisor query must not simulate";
+    EXPECT_EQ(Tuner::answerJson(warm), Tuner::answerJson(cold));
+}
+
+TEST(Tuner, CachePersistenceRoundTripsAndServesWarmQueries)
+{
+    const std::string path =
+        testing::TempDir() + "/fsmoe_advisor_cache_test.json";
+    std::string error;
+
+    Tuner writer;
+    const TuneAnswer cold = writer.tune(smallQuery());
+    ASSERT_TRUE(writer.saveCache(path, &error)) << error;
+
+    // A fresh tuner loading the file answers warm: no simulations.
+    Tuner reader;
+    ASSERT_TRUE(reader.loadCache(path, &error)) << error;
+    const uint64_t sims_before = stats::counter("sim.runs").value();
+    const TuneAnswer warm = reader.tune(smallQuery());
+    EXPECT_TRUE(warm.fromCache);
+    EXPECT_EQ(stats::counter("sim.runs").value(), sims_before);
+    EXPECT_EQ(Tuner::answerJson(warm), Tuner::answerJson(cold));
+
+    // Parse -> reserialize is byte-stable.
+    ASSERT_TRUE(reader.saveCache(path + ".2", &error)) << error;
+    std::ifstream f1(path, std::ios::binary);
+    std::ifstream f2(path + ".2", std::ios::binary);
+    const std::string bytes1((std::istreambuf_iterator<char>(f1)),
+                             std::istreambuf_iterator<char>());
+    const std::string bytes2((std::istreambuf_iterator<char>(f2)),
+                             std::istreambuf_iterator<char>());
+    EXPECT_FALSE(bytes1.empty());
+    EXPECT_EQ(bytes1, bytes2);
+    std::remove(path.c_str());
+    std::remove((path + ".2").c_str());
+}
+
+TEST(Tuner, CacheLoadRejectsForeignFiles)
+{
+    const std::string path =
+        testing::TempDir() + "/fsmoe_advisor_bogus_test.json";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "{\"schema\": \"something-else\", \"version\": 1}";
+    }
+    Tuner tuner;
+    std::string error;
+    EXPECT_FALSE(tuner.loadCache(path, &error));
+    EXPECT_NE(error.find("fsmoe-advisor-cache"), std::string::npos)
+        << error;
+    EXPECT_FALSE(tuner.loadCache(path + ".missing", &error));
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- oracle check
+
+/**
+ * A schedule whose makespan is a known convex function of its one
+ * parameter: a single compute task of (1 + (k - 5)^2) microseconds.
+ * Its optimum (k = 5) is tiny compared to every built-in schedule, so
+ * the tuner's global answer must be exactly this spec — and it must
+ * match an independent exhaustive search.
+ */
+class OracleSchedule : public core::Schedule
+{
+  public:
+    explicit OracleSchedule(int k) : k_(k) {}
+    sim::TaskGraph build(const core::ModelCost &) const override
+    {
+        sim::TaskGraph graph;
+        const double us = 1.0 + (k_ - 5.0) * (k_ - 5.0);
+        graph.addTask("oracle", sim::OpType::Other, sim::Link::Compute, 0,
+                      us * 1e-3, {});
+        return graph;
+    }
+
+  private:
+    int k_;
+};
+
+TEST(Tuner, PickMatchesExhaustiveGridSearchOracle)
+{
+    core::ScheduleRegistry &reg = core::ScheduleRegistry::instance();
+    core::ScheduleInfo info;
+    info.name = "tuner-test-oracle";
+    info.description = "convex 1-D test schedule";
+    info.params = {{"k", core::ScheduleParamType::Int, "0",
+                    "position on the convex curve", 0.0, 8.0}};
+    ASSERT_TRUE(
+        reg.registerSchedule(info, [](const core::ScheduleParams &p) {
+            return std::make_unique<OracleSchedule>(
+                static_cast<int>(p.getInt("k", 0)));
+        }));
+
+    // Independent exhaustive search over the declared grid.
+    const TuneQuery query = smallQuery();
+    const core::ModelCost cost =
+        ScenarioRegistry::instance().makeCost(query.scenario());
+    std::string oracle_best;
+    double oracle_ms = 0.0;
+    for (int k = 0; k <= 8; ++k) {
+        const std::string spec =
+            "tuner-test-oracle?k=" + std::to_string(k);
+        const double ms =
+            sim::Simulator{}.run(core::Schedule::create(spec)->build(cost))
+                .makespan;
+        if (oracle_best.empty() || ms < oracle_ms) {
+            oracle_best = spec;
+            oracle_ms = ms;
+        }
+    }
+    EXPECT_EQ(oracle_best, "tuner-test-oracle?k=5");
+
+    Tuner tuner;
+    const TuneAnswer answer = tuner.tune(query);
+    EXPECT_EQ(answer.best, oracle_best);
+    EXPECT_DOUBLE_EQ(answer.bestMakespanMs, oracle_ms);
+}
+
+// --------------------------------------------------- answer structure
+
+TEST(Tuner, FrontierContainsBestAndBareNamesAreAlwaysCandidates)
+{
+    Tuner tuner;
+    const TuneAnswer answer = tuner.tune(smallQuery());
+    ASSERT_FALSE(answer.frontier.empty());
+    EXPECT_EQ(answer.best, answer.frontier.front().spec);
+    EXPECT_EQ(answer.bestMakespanMs, answer.frontier.front().makespanMs);
+    // The frontier is sorted and contains no dominated entry.
+    for (size_t i = 1; i < answer.frontier.size(); ++i)
+        EXPECT_LE(answer.frontier[i - 1].makespanMs,
+                  answer.frontier[i].makespanMs);
+    // Every registered schedule was probed at least via its bare name,
+    // so the search can never answer worse than the best default.
+    EXPECT_GE(answer.evaluated,
+              core::ScheduleRegistry::instance().names().size());
+}
+
+} // namespace
+} // namespace fsmoe::runtime
