@@ -55,6 +55,7 @@
  *                    self-diff, and shard partition coverage; exits
  *                    non-zero on any mismatch
  */
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -65,6 +66,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/audit.h"
 #include "base/stats.h"
 #include "core/schedules/schedule_registry.h"
 #include "core/solver_cache.h"
@@ -349,6 +351,43 @@ persistenceSelftest(const std::vector<runtime::Scenario> &grid,
     return ok;
 }
 
+/**
+ * Audit-mode pass (base/audit.h): when the binary carries the
+ * debug-mode audits, prove they actually ran during the sweeps above
+ * by reporting the audit.* counters from the stats registry — a
+ * selftest that "passes" with audits silently compiled out would be
+ * meaningless, so Release builds say so explicitly instead.
+ */
+bool
+auditSelftest()
+{
+    if (!fsmoe::audit::compiledIn()) {
+        std::printf("  audits: compiled out in this build "
+                    "(rebuild with -DFSMOE_AUDIT=ON or Debug)\n");
+        return true;
+    }
+    const uint64_t graphs =
+        fsmoe::stats::counter("audit.taskGraph.verified").value();
+    const uint64_t pops =
+        fsmoe::stats::counter("audit.heap.popChecks").value();
+    const uint64_t checks =
+        fsmoe::stats::counter("audit.cacheKey.checks").value();
+    const uint64_t recorded =
+        fsmoe::stats::counter("audit.cacheKey.recorded").value();
+    std::printf("  audits: %llu graphs verified, %llu heap pops "
+                "checked, %llu cache-key checks (%llu keys recorded)\n",
+                static_cast<unsigned long long>(graphs),
+                static_cast<unsigned long long>(pops),
+                static_cast<unsigned long long>(checks),
+                static_cast<unsigned long long>(recorded));
+    const bool live = graphs > 0 && pops > 0 && checks > 0 &&
+                      recorded > 0 && checks >= recorded;
+    if (!live)
+        std::printf("  audit pass FAILED: audits are compiled in but "
+                    "some counter stayed zero\n");
+    return live;
+}
+
 int
 selftest(const std::vector<runtime::Scenario> &grid)
 {
@@ -385,12 +424,14 @@ selftest(const std::vector<runtime::Scenario> &grid)
 
     const bool persist_ok = persistenceSelftest(grid, serial_results);
 
+    const bool audit_ok = auditSelftest();
+
     const unsigned hw = std::thread::hardware_concurrency();
     if (hw < 2)
         std::printf("  note: this host exposes %u CPU(s); thread-level "
                     "speedup needs more cores\n",
                     hw);
-    return same && cached && persist_ok ? 0 : 1;
+    return same && cached && persist_ok && audit_ok ? 0 : 1;
 }
 
 /** Write @p text to @p path; stderr + false on failure. */

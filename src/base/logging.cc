@@ -1,5 +1,6 @@
 #include "base/logging.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <mutex>
@@ -112,6 +113,9 @@ flushRepeatedWarnings()
         state.counts.clear();
         state.suppressed = 0;
     }
+    // The dedup table is unordered; sort so the summary prints in a
+    // stable order instead of hash order.
+    std::sort(repeats.begin(), repeats.end());
     for (const auto &[msg, times] : repeats)
         std::fprintf(stderr, "%s (repeated %zu more time%s)\n", msg.c_str(),
                      times, times == 1 ? "" : "s");

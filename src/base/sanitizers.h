@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Sanitizer feature detection and opt-out annotations.
+ *
+ * The build system exposes the sanitizer matrix as
+ * `-DFSMOE_SANITIZE=address|undefined|thread` (see the root
+ * CMakeLists.txt and docs/CORRECTNESS.md); this header gives code a
+ * portable way to (a) detect which sanitizer the current translation
+ * unit is compiled under and (b) exempt an individual function from
+ * instrumentation.
+ *
+ * Exemption policy: FSMOE_NO_SANITIZE_* is a last resort for audited
+ * false positives only — e.g. a deliberate benign race in a
+ * statistics-only counter, or a hand-vectorised loop ASan's redzones
+ * would misread. Every use must carry a comment explaining why the
+ * finding is false, and the preferred fix is always to repair the
+ * code (or add a suppression entry under tools/sanitizers/ when the
+ * report originates in a system library). The tree currently needs no
+ * exemptions; keeping the macros here ensures future ones are
+ * greppable under one name instead of ad-hoc attribute spellings.
+ */
+#ifndef FSMOE_BASE_SANITIZERS_H
+#define FSMOE_BASE_SANITIZERS_H
+
+// ---- Detection -----------------------------------------------------
+// GCC defines __SANITIZE_ADDRESS__ / __SANITIZE_THREAD__; clang uses
+// __has_feature. UBSan has no reliable predefine on either compiler,
+// so the build system passes FSMOE_UBSAN_BUILD=1 alongside
+// -fsanitize=undefined.
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FSMOE_ASAN_ENABLED 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define FSMOE_TSAN_ENABLED 1
+#endif
+#endif
+
+#if !defined(FSMOE_ASAN_ENABLED) && defined(__SANITIZE_ADDRESS__)
+#define FSMOE_ASAN_ENABLED 1
+#endif
+#if !defined(FSMOE_TSAN_ENABLED) && defined(__SANITIZE_THREAD__)
+#define FSMOE_TSAN_ENABLED 1
+#endif
+
+#ifndef FSMOE_ASAN_ENABLED
+#define FSMOE_ASAN_ENABLED 0
+#endif
+#ifndef FSMOE_TSAN_ENABLED
+#define FSMOE_TSAN_ENABLED 0
+#endif
+
+#if defined(FSMOE_UBSAN_BUILD) && FSMOE_UBSAN_BUILD
+#define FSMOE_UBSAN_ENABLED 1
+#else
+#define FSMOE_UBSAN_ENABLED 0
+#endif
+
+/** Any sanitizer at all (audits and tests may loosen timing limits). */
+#define FSMOE_SANITIZERS_ENABLED \
+    (FSMOE_ASAN_ENABLED || FSMOE_TSAN_ENABLED || FSMOE_UBSAN_ENABLED)
+
+// ---- Function annotations ------------------------------------------
+// Spelled per-sanitizer so an exemption is as narrow as possible;
+// there is deliberately no "disable everything" macro.
+
+#if defined(__clang__) || defined(__GNUC__)
+#define FSMOE_NO_SANITIZE(check) __attribute__((no_sanitize(check)))
+#else
+#define FSMOE_NO_SANITIZE(check)
+#endif
+
+/** Exempt a function from AddressSanitizer instrumentation. */
+#define FSMOE_NO_SANITIZE_ADDRESS FSMOE_NO_SANITIZE("address")
+/** Exempt a function from ThreadSanitizer instrumentation. */
+#define FSMOE_NO_SANITIZE_THREAD FSMOE_NO_SANITIZE("thread")
+/** Exempt a function from UndefinedBehaviorSanitizer checks. */
+#define FSMOE_NO_SANITIZE_UNDEFINED FSMOE_NO_SANITIZE("undefined")
+
+#endif // FSMOE_BASE_SANITIZERS_H

@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "base/audit.h"
 #include "base/stats.h"
 
 namespace fsmoe::core {
@@ -91,11 +92,60 @@ struct Timer
 };
 
 std::mutex mu;
+// Thread-safety: both caches and the stats struct are guarded by mu;
+// values are immutable once stored (shared_ptr<const T>).
 std::unordered_map<std::string, std::shared_ptr<const PipelineSolution>>
     pipeline_cache;
 std::unordered_map<std::string, std::shared_ptr<const GradPartitionPlan>>
     partition_cache;
+// Guarded by mu.
 SolverCacheStats stats;
+
+#if FSMOE_AUDIT_ENABLED
+
+/**
+ * Payload fingerprints for the cache-key collision audit: with
+ * bit-pattern keys, two byte-different solutions under one key would
+ * mean the key misses an input the solver reads.
+ */
+uint64_t
+fingerprintSolution(const PipelineSolution &s)
+{
+    audit::Fingerprint fp;
+    fp.mix(s.rContinuous).mix(s.r).mix(s.tMoe).mix(s.caseId);
+    fp.mix(s.tOlpMoe);
+    return fp.digest();
+}
+
+uint64_t
+fingerprintPlan(const GradPartitionPlan &p)
+{
+    audit::Fingerprint fp;
+    for (const std::vector<double> *v :
+         {&p.denseBytes, &p.moeBytes, &p.tGar}) {
+        fp.mix(static_cast<uint64_t>(v->size()));
+        for (double d : *v)
+            fp.mix(d);
+    }
+    fp.mix(static_cast<uint64_t>(p.solutions.size()));
+    for (const PipelineSolution &s : p.solutions)
+        fp.mix(fingerprintSolution(s));
+    fp.mix(p.exposedBytes).mix(p.totalTimeMs).mix(p.deGenerations);
+    return fp.digest();
+}
+
+#endif // FSMOE_AUDIT_ENABLED
+
+/**
+ * Names a fingerprint functor only when audits are compiled in; in
+ * Release the functions above do not exist and the placeholder is
+ * never invoked (FSMOE_AUDIT bodies compile to nothing).
+ */
+#if FSMOE_AUDIT_ENABLED
+#define FSMOE_SOLVER_FP(fn) (fn)
+#else
+#define FSMOE_SOLVER_FP(fn) 0
+#endif
 
 /**
  * Shared lookup/compute/store protocol. Values are held by shared_ptr
@@ -106,12 +156,15 @@ SolverCacheStats stats;
  * misses on one key may duplicate work but always store identical
  * values.
  */
-template <typename Map, typename Solve>
+template <typename Map, typename Solve, typename Fingerprint>
 auto
-memoized(Map &cache, const std::string &key, uint64_t SolverCacheStats::*hit,
-         uint64_t SolverCacheStats::*miss, stats::Counter &reg_hit,
-         stats::Counter &reg_miss, Solve &&solve)
+memoized(Map &cache, const char *audit_domain, const std::string &key,
+         uint64_t SolverCacheStats::*hit, uint64_t SolverCacheStats::*miss,
+         stats::Counter &reg_hit, stats::Counter &reg_miss, Solve &&solve,
+         Fingerprint &&fingerprint)
 {
+    (void)audit_domain;
+    (void)fingerprint;
     typename Map::mapped_type entry;
     {
         std::lock_guard<std::mutex> lock(mu);
@@ -133,6 +186,10 @@ memoized(Map &cache, const std::string &key, uint64_t SolverCacheStats::*hit,
         typename Map::mapped_type::element_type>(solve());
     const double ms = timer.elapsedMs();
     SolverRegStats::instance().solveMs.observe(ms);
+    // Cold solves register their payload fingerprint; a later compute
+    // of the same bit-pattern key must produce identical bytes.
+    FSMOE_AUDIT(audit::checkCacheKey(audit_domain, key,
+                                     fingerprint(*value)));
     {
         std::lock_guard<std::mutex> lock(mu);
         stats.solveMs += ms;
@@ -151,9 +208,11 @@ cachedSolvePipeline(const PipelineProblem &p)
     std::string key(1, 'S');
     appendProblem(key, p);
     SolverRegStats &reg = SolverRegStats::instance();
-    return memoized(pipeline_cache, key, &SolverCacheStats::pipelineHits,
+    return memoized(pipeline_cache, "solver.pipeline", key,
+                    &SolverCacheStats::pipelineHits,
                     &SolverCacheStats::pipelineMisses, reg.pipelineHits,
-                    reg.pipelineMisses, [&] { return solvePipeline(p); });
+                    reg.pipelineMisses, [&] { return solvePipeline(p); },
+                    FSMOE_SOLVER_FP(fingerprintSolution));
 }
 
 PipelineSolution
@@ -162,10 +221,12 @@ cachedSolvePipelineMerged(const PipelineProblem &p)
     std::string key(1, 'M');
     appendProblem(key, p);
     SolverRegStats &reg = SolverRegStats::instance();
-    return memoized(pipeline_cache, key, &SolverCacheStats::pipelineHits,
+    return memoized(pipeline_cache, "solver.pipeline", key,
+                    &SolverCacheStats::pipelineHits,
                     &SolverCacheStats::pipelineMisses, reg.pipelineHits,
                     reg.pipelineMisses,
-                    [&] { return solvePipelineMerged(p); });
+                    [&] { return solvePipelineMerged(p); },
+                    FSMOE_SOLVER_FP(fingerprintSolution));
 }
 
 GradPartitionPlan
@@ -193,13 +254,16 @@ cachedPartitionGradients(const std::vector<GeneralizedLayer> &layers,
     key.push_back(enable_step2 ? '1' : '0');
     key.push_back(merged_channel ? '1' : '0');
     SolverRegStats &reg = SolverRegStats::instance();
-    return memoized(partition_cache, key, &SolverCacheStats::partitionHits,
+    return memoized(partition_cache, "solver.partition", key,
+                    &SolverCacheStats::partitionHits,
                     &SolverCacheStats::partitionMisses, reg.partitionHits,
-                    reg.partitionMisses, [&] {
+                    reg.partitionMisses,
+                    [&] {
                         return partitionGradients(layers, allreduce, de,
                                                   enable_step2,
                                                   merged_channel);
-                    });
+                    },
+                    FSMOE_SOLVER_FP(fingerprintPlan));
 }
 
 SolverCacheStats

@@ -1,5 +1,6 @@
 #include "runtime/scenario.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <limits>
@@ -96,6 +97,9 @@ ScenarioRegistry::modelNames() const
     names.reserve(models_.size());
     for (const auto &kv : models_)
         names.push_back(kv.first);
+    // The registry map is unordered; without this sort the list would
+    // come back in hash order, which varies with insertion history.
+    std::sort(names.begin(), names.end());
     return names;
 }
 
@@ -107,6 +111,8 @@ ScenarioRegistry::clusterNames() const
     names.reserve(clusters_.size());
     for (const auto &kv : clusters_)
         names.push_back(kv.first);
+    // See modelNames(): sorted so callers never observe hash order.
+    std::sort(names.begin(), names.end());
     return names;
 }
 

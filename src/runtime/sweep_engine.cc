@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "base/audit.h"
 #include "base/logging.h"
 #include "base/stats.h"
 #include "runtime/self_trace.h"
@@ -35,6 +36,62 @@ struct EngineStats
         return s;
     }
 };
+
+#if FSMOE_AUDIT_ENABLED
+
+/**
+ * Field-by-field payload fingerprints for the cache-key collision
+ * audit (base/audit.h): two payloads fingerprint equal iff every field
+ * is bit-identical, matching the byte-identity contract the caches
+ * must preserve.
+ */
+void
+mixModel(audit::Fingerprint *fp, const core::LinearModel &m)
+{
+    fp->mix(m.alpha).mix(m.beta).mix(m.r2);
+}
+
+uint64_t
+fingerprintCost(const core::ModelCost &c)
+{
+    audit::Fingerprint fp;
+    mixModel(&fp, c.models.alltoall);
+    mixModel(&fp, c.models.allgather);
+    mixModel(&fp, c.models.reducescatter);
+    mixModel(&fp, c.models.allreduce);
+    mixModel(&fp, c.models.gemm);
+    fp.mix(static_cast<uint64_t>(c.layers.size()));
+    for (const core::LayerCost &l : c.layers) {
+        const core::Workload &w = l.workload;
+        fp.mix(w.a2aBytes).mix(w.agBytes).mix(w.rsBytes);
+        fp.mix(w.expertMacs).mix(w.expertGemms).mix(w.attnMacs);
+        fp.mix(w.routingMacs).mix(w.orderBytes).mix(w.gradBytes);
+        for (const core::PhaseTimes *p : {&l.fwd, &l.bwd}) {
+            fp.mix(p->a2a).mix(p->allgather).mix(p->reducescatter);
+            fp.mix(p->experts).mix(p->routing).mix(p->order);
+            fp.mix(p->attention).mix(p->gradAllReduce);
+        }
+    }
+    fp.mix(c.rMax).mix(c.dsA2aOverhead).mix(c.dsKernelOverhead);
+    return fp.digest();
+}
+
+uint64_t
+fingerprintSim(const sim::SimResult &r)
+{
+    audit::Fingerprint fp;
+    fp.mix(r.makespan);
+    fp.mix(static_cast<uint64_t>(r.trace.size()));
+    for (const sim::TaskTrace &t : r.trace)
+        fp.mix(t.id).mix(t.start).mix(t.finish);
+    for (double v : r.opTime)
+        fp.mix(v);
+    for (double v : r.linkBusyMs)
+        fp.mix(v);
+    return fp.digest();
+}
+
+#endif // FSMOE_AUDIT_ENABLED
 
 } // namespace
 
@@ -99,6 +156,11 @@ SweepEngine::costFor(const Scenario &s)
             std::lock_guard<std::mutex> lock(mu_);
             stats_.costDeriveMs += derive_ms;
         }
+        // Every cold compute registers its payload fingerprint: a
+        // second compute of the same key with different bytes means
+        // costKey() under-identifies the scenario — panic, not cache.
+        FSMOE_AUDIT(audit::checkCacheKey("sweep.cost", key,
+                                         fingerprintCost(*cost)));
         promise.set_value(cost);
         return cost;
     } catch (...) {
@@ -144,6 +206,8 @@ SweepEngine::simFor(const Scenario &s,
     try {
         auto result = std::make_shared<const sim::SimResult>(
             timedSimulate(s, *cost));
+        FSMOE_AUDIT(audit::checkCacheKey("sweep.sim", key,
+                                         fingerprintSim(*result)));
         promise.set_value(result);
         return result;
     } catch (...) {

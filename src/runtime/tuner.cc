@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "base/audit.h"
 #include "base/json.h"
 #include "base/logging.h"
 #include "core/schedules/param_space.h"
@@ -78,6 +79,20 @@ entryJson(const TuneAnswer &a, int indent)
     oss << "]\n" << pad << "}";
     return oss.str();
 }
+
+#if FSMOE_AUDIT_ENABLED
+/**
+ * Payload fingerprint for the advisor-cache collision audit: the
+ * canonical serialized entry (which deliberately excludes the
+ * transient fromCache flag). A fresh search and a loaded cache file
+ * must agree byte-for-byte on any key they share.
+ */
+uint64_t
+fingerprintAnswer(const TuneAnswer &a)
+{
+    return audit::Fingerprint().mix(entryJson(a, 0)).digest();
+}
+#endif
 
 /** Inverse of entryJson; false (with *error) on a malformed entry. */
 bool
@@ -257,6 +272,8 @@ Tuner::tune(const TuneQuery &query)
     }
     TuneAnswer answer = search(query);
     answer.queryKey = key;
+    FSMOE_AUDIT(
+        audit::checkCacheKey("tuner.answer", key, fingerprintAnswer(answer)));
     cache_.emplace(key, answer);
     return answer;
 }
@@ -447,8 +464,13 @@ Tuner::loadCache(const std::string &path, std::string *error)
         }
         parsed.push_back(std::move(a));
     }
-    for (TuneAnswer &a : parsed)
+    for (TuneAnswer &a : parsed) {
+        // A loaded entry must agree with any answer this process
+        // already computed (or later computes) for the same key.
+        FSMOE_AUDIT(audit::checkCacheKey("tuner.answer", a.queryKey,
+                                         fingerprintAnswer(a)));
         cache_.emplace(a.queryKey, std::move(a)); // in-memory wins
+    }
     return true;
 }
 

@@ -6,6 +6,7 @@
 #include <queue>
 #include <sstream>
 
+#include "base/audit.h"
 #include "base/stats.h"
 #include "sim/trace.h"
 
@@ -69,6 +70,10 @@ struct SimStats
 SimResult
 Simulator::run(const TaskGraph &graph) const
 {
+    // Debug-mode audit: full CSR/acyclicity validation of the input
+    // graph (compiled out of Release; see base/audit.h).
+    FSMOE_AUDIT(auditTaskGraph(graph));
+
     const auto &tasks = graph.tasks();
     const size_t n = tasks.size();
     SimResult result;
@@ -82,6 +87,10 @@ Simulator::run(const TaskGraph &graph) const
     uint64_t heap_pushes = 0;
     uint64_t heap_pops = 0;
     uint64_t events_processed = 0;
+#if FSMOE_AUDIT_ENABLED
+    uint64_t audit_pop_checks = 0;
+    const bool audit_on = audit::enabled();
+#endif
 
     // Mutable per-task state, flat (one allocation each, not per task).
     std::vector<int32_t> pending(n);
@@ -180,6 +189,36 @@ Simulator::run(const TaskGraph &graph) const
         h.pop_back();
         ++heap_pops;
         const Task &t = tasks[id];
+#if FSMOE_AUDIT_ENABLED
+        // Ready-heap invariants: whatever wins a link must be an
+        // unfinished stream head with no pending deps, eligible *now*,
+        // on a link that is actually free (the header comment's "every
+        // heap entry is eligible now" argument, checked live).
+        if (audit_on) {
+            if (finished[id])
+                FSMOE_PANIC("heap audit: popped finished task ", id);
+            if (pending[id] != 0)
+                FSMOE_PANIC("heap audit: popped task ", id, " with ",
+                            pending[id], " pending dependencies");
+            if (static_cast<size_t>(t.link) != li)
+                FSMOE_PANIC("heap audit: task ", id, " on link ",
+                            linkName(t.link),
+                            " surfaced in another link's heap");
+            if (head[t.stream] >= str_off[t.stream + 1] ||
+                str_tasks[head[t.stream]] != id)
+                FSMOE_PANIC("heap audit: popped task ", id,
+                            " is not the head of stream ", t.stream);
+            if (ready[id] > now)
+                FSMOE_PANIC("heap audit: popped task ", id,
+                            " ready at ", ready[id],
+                            " which is after now=", now);
+            if (link_free[li] > now)
+                FSMOE_PANIC("heap audit: link ", linkName(t.link),
+                            " busy until ", link_free[li],
+                            " issued a task at now=", now);
+            ++audit_pop_checks;
+        }
+#endif
         double finish = now + t.duration;
         result.trace[id] = {id, now, finish};
         link_free[li] = finish;
@@ -236,6 +275,13 @@ Simulator::run(const TaskGraph &graph) const
         try_start();
     }
 
+#if FSMOE_AUDIT_ENABLED
+    if (audit_pop_checks > 0) {
+        static stats::Counter &pop_checks =
+            stats::counter("audit.heap.popChecks");
+        pop_checks.inc(audit_pop_checks);
+    }
+#endif
     sim_stats.tasks.inc(n);
     sim_stats.events.inc(events_processed);
     sim_stats.heapPushes.inc(heap_pushes);

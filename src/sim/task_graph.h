@@ -195,6 +195,9 @@ class TaskGraph
     /** Total dependency-edge count across all tasks. */
     size_t numDeps() const { return dep_pool_.size(); }
 
+    /** The flat CSR dependency pool (audit and exporter use). */
+    const std::vector<TaskId> &depPool() const { return dep_pool_; }
+
     /** Highest stream index used plus one. */
     int numStreams() const { return num_streams_; }
 
@@ -207,6 +210,30 @@ class TaskGraph
     std::vector<TaskId> dep_pool_; ///< All tasks' deps, CSR-flattened.
     int num_streams_ = 0;
 };
+
+/**
+ * Structural audit of a built graph (see base/audit.h): task ids are
+ * dense and in order, every CSR dep span lies inside the pool, every
+ * dependency edge points to an *earlier* task (which is the graph's
+ * acyclicity invariant — issue order is a topological order), stream
+ * indices are within [0, numStreams), durations are finite and
+ * non-negative. Panics on the first violation; bumps the
+ * "audit.taskGraph.verified" counter on success. O(tasks + deps).
+ *
+ * Call through FSMOE_AUDIT(auditTaskGraph(g)) so Release builds pay
+ * nothing.
+ */
+void auditTaskGraph(const TaskGraph &g);
+
+/**
+ * Raw-span core of auditTaskGraph. Exposed separately because the
+ * TaskGraph builder API cannot produce an invalid graph, so tests
+ * exercise the audit's failure paths by handing it deliberately
+ * corrupted task/pool arrays.
+ */
+void auditTasksAndDeps(const Task *tasks, size_t num_tasks,
+                       const TaskId *dep_pool, size_t pool_size,
+                       int num_streams);
 
 } // namespace fsmoe::sim
 

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the debug-mode runtime audits (base/audit.h): fingerprint
+ * determinism, cache-key collision detection, TaskGraph structural
+ * audits (failure paths via the raw-span entry point, since the
+ * builder API cannot produce an invalid graph), and the simulator's
+ * heap-pop audit counter. Runtime-audit expectations are gated on
+ * audit::compiledIn() so the file passes in Release builds too.
+ */
+#include "base/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/stats.h"
+#include "sim/simulator.h"
+#include "sim/task_graph.h"
+
+namespace fsmoe {
+namespace {
+
+using sim::Link;
+using sim::OpType;
+using sim::Task;
+using sim::TaskGraph;
+using sim::TaskId;
+
+TEST(Fingerprint, IsDeterministicAndOrderSensitive)
+{
+    auto digest = [](double a, double b) {
+        return audit::Fingerprint().mix(a).mix(b).digest();
+    };
+    EXPECT_EQ(digest(1.5, 2.5), digest(1.5, 2.5));
+    EXPECT_NE(digest(1.5, 2.5), digest(2.5, 1.5));
+    EXPECT_NE(audit::Fingerprint().mix(std::string("ab")).digest(),
+              audit::Fingerprint().mix(std::string("ba")).digest());
+}
+
+TEST(Fingerprint, DistinguishesDoubleBitPatterns)
+{
+    // +0.0 and -0.0 compare equal but are different bytes; the
+    // byte-identity contract cares about bytes.
+    EXPECT_NE(audit::Fingerprint().mix(0.0).digest(),
+              audit::Fingerprint().mix(-0.0).digest());
+    // Empty string vs nothing mixed must differ (length is mixed).
+    EXPECT_NE(audit::Fingerprint().mix(std::string()).digest(),
+              audit::Fingerprint().digest());
+}
+
+TEST(CacheKeyAudit, AcceptsConsistentRecomputes)
+{
+    audit::clearCacheKeyTable();
+    audit::checkCacheKey("test.domain", "key-a", 111);
+    audit::checkCacheKey("test.domain", "key-a", 111); // same: fine
+    audit::checkCacheKey("test.domain", "key-b", 222);
+    EXPECT_EQ(audit::cacheKeyTableSize(), 2u);
+    // Same key under another domain is a distinct slot, not a clash.
+    audit::checkCacheKey("other.domain", "key-a", 333);
+    EXPECT_EQ(audit::cacheKeyTableSize(), 3u);
+    audit::clearCacheKeyTable();
+    EXPECT_EQ(audit::cacheKeyTableSize(), 0u);
+}
+
+TEST(CacheKeyAuditDeathTest, PanicsOnPayloadMismatch)
+{
+    audit::clearCacheKeyTable();
+    audit::checkCacheKey("test.domain", "clash", 1);
+    EXPECT_DEATH(audit::checkCacheKey("test.domain", "clash", 2),
+                 "cache-key collision");
+    audit::clearCacheKeyTable();
+}
+
+TEST(CacheKeyAudit, BumpsRegistryCounters)
+{
+    stats::Counter &checks = stats::counter("audit.cacheKey.checks");
+    stats::Counter &recorded = stats::counter("audit.cacheKey.recorded");
+    audit::clearCacheKeyTable();
+    const uint64_t checks0 = checks.value();
+    const uint64_t recorded0 = recorded.value();
+    audit::checkCacheKey("test.counters", "k", 7);
+    audit::checkCacheKey("test.counters", "k", 7);
+    EXPECT_EQ(checks.value(), checks0 + 2);
+    EXPECT_EQ(recorded.value(), recorded0 + 1);
+    audit::clearCacheKeyTable();
+}
+
+/** A small valid two-stream graph. */
+TaskGraph
+makeValidGraph()
+{
+    TaskGraph g;
+    TaskId a = g.addTask("a", OpType::Routing, Link::Compute, 0, 1.0);
+    TaskId b = g.addTask("b", OpType::AlltoAll, Link::InterNode, 1, 2.0,
+                         {a});
+    g.addTask("c", OpType::Experts, Link::Compute, 0, 3.0, {a, b});
+    return g;
+}
+
+TEST(TaskGraphAudit, AcceptsValidGraphAndCounts)
+{
+    stats::Counter &verified = stats::counter("audit.taskGraph.verified");
+    const uint64_t before = verified.value();
+    TaskGraph g = makeValidGraph();
+    sim::auditTaskGraph(g); // must not panic
+    EXPECT_EQ(verified.value(), before + 1);
+}
+
+TEST(TaskGraphAuditDeathTest, CatchesCorruptedStructures)
+{
+    TaskGraph g = makeValidGraph();
+    // Copies of the real storage, corrupted one field at a time.
+    std::vector<Task> tasks(g.tasks());
+    std::vector<TaskId> pool(g.depPool());
+    const int streams = g.numStreams();
+
+    auto audit = [&](const std::vector<Task> &ts,
+                     const std::vector<TaskId> &dp, int ns) {
+        sim::auditTasksAndDeps(ts.data(), ts.size(), dp.data(), dp.size(),
+                               ns);
+    };
+
+    {
+        auto t = tasks;
+        t[1].id = 7; // ids must stay dense and in order
+        EXPECT_DEATH(audit(t, pool, streams), "ids must be dense");
+    }
+    {
+        auto t = tasks;
+        t[2].depCount = 100; // CSR span runs past the pool
+        EXPECT_DEATH(audit(t, pool, streams), "exceeds pool size");
+    }
+    {
+        auto p = pool;
+        // Make task 1 depend on task 2: a forward edge, i.e. a cycle
+        // against issue order.
+        p[tasks[1].depBegin] = 2;
+        EXPECT_DEATH(audit(tasks, p, streams), "not an earlier task");
+    }
+    {
+        auto p = pool;
+        p[tasks[1].depBegin] = -3; // dangling negative id
+        EXPECT_DEATH(audit(tasks, p, streams), "not an earlier task");
+    }
+    {
+        auto t = tasks;
+        t[0].stream = streams + 5; // stream index out of range
+        EXPECT_DEATH(audit(t, pool, streams), "outside");
+    }
+    {
+        auto t = tasks;
+        t[0].duration = -1.0; // negative service time
+        EXPECT_DEATH(audit(t, pool, streams), "negative duration");
+    }
+}
+
+TEST(SimulatorAudit, HeapPopChecksCountWhenCompiledIn)
+{
+    stats::Counter &pops = stats::counter("audit.heap.popChecks");
+    const uint64_t before = pops.value();
+    TaskGraph g = makeValidGraph();
+    sim::SimResult r = sim::Simulator{}.run(g);
+    EXPECT_GT(r.makespan, 0.0);
+    if (audit::compiledIn() && audit::enabled()) {
+        // Every task is popped from a ready heap exactly once.
+        EXPECT_EQ(pops.value(), before + g.size());
+    } else {
+        EXPECT_EQ(pops.value(), before);
+    }
+}
+
+TEST(SimulatorAudit, RuntimeSwitchDisablesChecks)
+{
+    if (!audit::compiledIn())
+        GTEST_SKIP() << "audits compiled out in this build";
+    stats::Counter &pops = stats::counter("audit.heap.popChecks");
+    audit::setEnabled(false);
+    const uint64_t before = pops.value();
+    sim::Simulator{}.run(makeValidGraph());
+    EXPECT_EQ(pops.value(), before);
+    audit::setEnabled(true);
+    sim::Simulator{}.run(makeValidGraph());
+    EXPECT_EQ(pops.value(), before + makeValidGraph().size());
+}
+
+} // namespace
+} // namespace fsmoe

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regression tests for determinism hazards found by fsmoe_lint's
+ * first pass over the tree: registry name listings and the repeated-
+ * warning summary used to surface in std::unordered_map hash order,
+ * which varies with insertion history and libstdc++ version. Both now
+ * sort before exposing anything.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+#include "runtime/scenario.h"
+
+namespace fsmoe {
+namespace {
+
+TEST(DeterminismRegression, RegistryNameListingsAreSorted)
+{
+    const runtime::ScenarioRegistry &reg =
+        runtime::ScenarioRegistry::instance();
+    std::vector<std::string> models = reg.modelNames();
+    std::vector<std::string> clusters = reg.clusterNames();
+    ASSERT_FALSE(models.empty());
+    ASSERT_FALSE(clusters.empty());
+    EXPECT_TRUE(std::is_sorted(models.begin(), models.end()));
+    EXPECT_TRUE(std::is_sorted(clusters.begin(), clusters.end()));
+    // Stability across calls, not just sortedness of one call.
+    EXPECT_EQ(models, reg.modelNames());
+    EXPECT_EQ(clusters, reg.clusterNames());
+}
+
+TEST(DeterminismRegression, RepeatedWarningSummaryIsSorted)
+{
+    // Two distinct warnings, each repeated, inserted in an order that
+    // a hash table is free to invert. The flushed summary must come
+    // out lexicographically sorted regardless.
+    flushRepeatedWarnings(); // drain any prior state
+    for (int i = 0; i < 3; ++i) {
+        FSMOE_WARN("zzz regression warning");
+        FSMOE_WARN("aaa regression warning");
+    }
+    testing::internal::CaptureStderr();
+    flushRepeatedWarnings();
+    const std::string out = testing::internal::GetCapturedStderr();
+    const size_t pos_a = out.find("aaa regression warning");
+    const size_t pos_z = out.find("zzz regression warning");
+    ASSERT_NE(pos_a, std::string::npos) << out;
+    ASSERT_NE(pos_z, std::string::npos) << out;
+    EXPECT_LT(pos_a, pos_z) << "summary not sorted:\n" << out;
+}
+
+} // namespace
+} // namespace fsmoe

@@ -1,0 +1,13 @@
+// Fixture: one real hazard that fixtures/allowlist.txt suppresses.
+// With the allowlist: 0 findings, 1 allowlisted. Without: 1 finding.
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+
+void
+dumpTags()
+{
+    std::unordered_set<std::string> tags;
+    for (const auto &t : tags) // suppressed by fixtures/allowlist.txt
+        std::printf("%s\n", t.c_str());
+}

@@ -1,0 +1,15 @@
+// Fixture: address-keyed ordering — iteration/sort order derived from
+// object addresses differs per run. Expected findings: exactly 2
+// addr-order.
+#include <cstdint>
+#include <map>
+
+struct Task;
+
+uint64_t
+orderKey(const Task *t)
+{
+    return reinterpret_cast<uintptr_t>(t); // finding 1: address as key
+}
+
+using TaskRank = std::map<Task *, int, std::less<Task *>>; // finding 2

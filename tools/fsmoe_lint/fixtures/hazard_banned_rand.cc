@@ -1,0 +1,13 @@
+// Fixture: banned randomness sources. Expected findings: exactly 3
+// banned-rand.
+#include <cstdlib>
+#include <random>
+
+int
+roll()
+{
+    std::srand(42);                 // finding 1: global-state seeding
+    int a = std::rand();            // finding 2: global-state RNG
+    std::random_device rd;          // finding 3: nondeterministic seed
+    return a + static_cast<int>(rd());
+}

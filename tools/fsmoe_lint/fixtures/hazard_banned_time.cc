@@ -1,0 +1,14 @@
+// Fixture: wall-clock values feeding results. Expected findings:
+// exactly 3 banned-time.
+#include <chrono>
+#include <ctime>
+
+long
+stamp()
+{
+    long t = time(nullptr); // finding 1: wall-clock seconds
+    auto now = std::chrono::system_clock::now(); // finding 2: wall clock
+    long c = clock();       // finding 3: CPU clock ticks
+    (void)now;
+    return t + c;
+}

@@ -1,0 +1,16 @@
+// Fixture: floating-point accumulation over an unordered range — the
+// sum depends on hash order because float addition is not
+// associative. Expected findings: exactly 1 float-accum-unordered
+// (plus the underlying unordered-iter).
+#include <string>
+#include <unordered_map>
+
+double
+total()
+{
+    std::unordered_map<std::string, double> weights;
+    double sum = 0.0;
+    for (const auto &kv : weights)
+        sum += kv.second; // finding: order-dependent float sum
+    return sum;
+}

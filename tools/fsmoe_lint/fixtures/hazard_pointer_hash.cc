@@ -1,0 +1,12 @@
+// Fixture: hashing pointers keys caches on addresses, which change
+// per run under ASLR. Expected findings: exactly 1 pointer-hash.
+#include <cstddef>
+#include <functional>
+
+struct Node;
+
+size_t
+keyOf(const Node *n)
+{
+    return std::hash<const Node *>{}(n); // finding: address-based key
+}

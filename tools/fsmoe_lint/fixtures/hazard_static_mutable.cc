@@ -1,0 +1,18 @@
+// Fixture: mutable statics that carry no explanatory comment about
+// how concurrent access is handled. Expected findings: exactly 2
+// static-mutable.
+#include <string>
+#include <vector>
+
+namespace {
+
+std::vector<std::string> g_names; // finding 1: bare global
+
+} // namespace
+
+int
+nextTicket()
+{
+    static int counter = 0; // finding 2: bare mutable static
+    return ++counter;
+}

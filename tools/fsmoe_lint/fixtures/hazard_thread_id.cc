@@ -1,0 +1,17 @@
+// Fixture: thread-id-dependent values break the N-threads ==
+// 1-thread contract. Expected findings: exactly 2 thread-id.
+#include <functional>
+#include <thread>
+
+size_t
+shardOf()
+{
+    auto id = std::this_thread::get_id(); // finding 1
+    return std::hash<std::thread::id>{}(id);
+}
+
+unsigned long
+rawTid()
+{
+    return pthread_self(); // finding 2
+}

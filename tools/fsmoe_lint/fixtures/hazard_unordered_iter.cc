@@ -1,0 +1,18 @@
+// Fixture: unordered-container iteration flowing into output with no
+// sorting sink. Expected findings: exactly 2 unordered-iter.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+void
+printAll()
+{
+    std::unordered_map<std::string, int> table;
+    for (const auto &kv : table) // finding 1: hash-order output
+        std::printf("%s=%d\n", kv.first.c_str(), kv.second);
+
+    std::unordered_set<std::string> keys;
+    for (const auto &k : keys) // finding 2: hash-order output
+        std::printf("%s\n", k.c_str());
+}
