@@ -52,29 +52,55 @@
  *                    trace JSON into F; see docs/OBSERVABILITY.md
  *   --selftest       determinism + persistence self-checks: serial vs
  *                    4-thread bit-identity, JSON/CSV round-trip,
- *                    self-diff, and shard partition coverage; exits
+ *                    self-diff, shard partition coverage, and the
+ *                    fault-injection/retry/quarantine contract; exits
  *                    non-zero on any mismatch
+ *
+ * Fault tolerance (docs/ROBUSTNESS.md) — any of these flags (or the
+ * FSMOE_FAULT environment variable) switches to the robust runner,
+ * which retries failing scenarios and quarantines persistent failures
+ * instead of aborting; healthy results stay byte-identical to the
+ * plain engine's:
+ *
+ *   --journal FILE   append each finished scenario to a checksummed
+ *                    journal (fsync'd), so a killed sweep can resume
+ *   --resume         with --journal: recover the journal, re-simulate
+ *                    only what is missing; the final --out-json/--out-csv
+ *                    is byte-identical to an uninterrupted run
+ *   --isolate        fork each scenario attempt as a subprocess with a
+ *                    watchdog, so a crash or hang loses only that
+ *                    attempt (supervisor runs serially)
+ *   --timeout-ms N   watchdog budget per isolated attempt (default
+ *                    30000)
+ *   --max-attempts N attempts before a scenario is quarantined
+ *                    (default 3)
+ *   --inject SPEC    deterministic fault injection, e.g.
+ *                    "seed=7,eval=0.3,crash=0.1,timeout=0.05,torn=0.2,
+ *                    kill-after=12" (see runtime/fault.h)
  */
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <algorithm>
-#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "base/audit.h"
+#include "base/fileio.h"
 #include "base/stats.h"
 #include "core/schedules/schedule_registry.h"
 #include "core/solver_cache.h"
+#include "runtime/fault.h"
+#include "runtime/journal.h"
 #include "runtime/result_store.h"
 #include "runtime/scenario.h"
 #include "runtime/self_trace.h"
 #include "runtime/sweep_engine.h"
 #include "runtime/trace_export.h"
+#include "runtime/worker.h"
 #include "sim/run_report.h"
 
 namespace {
@@ -153,14 +179,13 @@ listSchedules()
 }
 
 void
-printRanked(const std::vector<runtime::ScenarioResult> &results)
+printRanked(const std::vector<runtime::SweepResult> &records)
 {
     // Group scenarios by configuration (= costKey) in first-seen order.
     std::vector<std::string> order;
-    std::map<std::string, std::vector<const runtime::ScenarioResult *>>
-        groups;
-    for (const auto &r : results) {
-        const std::string key = r.scenario.costKey();
+    std::map<std::string, std::vector<const runtime::SweepResult *>> groups;
+    for (const auto &r : records) {
+        const std::string key = r.toScenario().costKey();
         if (groups.find(key) == groups.end())
             order.push_back(key);
         groups[key].push_back(&r);
@@ -168,23 +193,34 @@ printRanked(const std::vector<runtime::ScenarioResult> &results)
 
     for (const std::string &key : order) {
         auto ranked = groups[key];
+        // Healthy rows rank by makespan; quarantined rows sink to the
+        // bottom (their makespan is a meaningless zero).
         std::sort(ranked.begin(), ranked.end(),
                   [](const auto *x, const auto *y) {
+                      const bool xok = x->status == runtime::ResultStatus::Ok;
+                      const bool yok = y->status == runtime::ResultStatus::Ok;
+                      if (xok != yok)
+                          return xok;
                       return x->makespanMs < y->makespanMs;
                   });
-        const auto &s0 = ranked.front()->scenario;
-        std::printf("\n%s on %s, B=%lld, L=%lld\n", s0.model.c_str(),
-                    s0.cluster.c_str(),
-                    static_cast<long long>(s0.batch),
-                    static_cast<long long>(s0.seqLen));
+        const auto &r0 = *ranked.front();
+        std::printf("\n%s on %s, B=%lld, L=%lld\n", r0.model.c_str(),
+                    r0.cluster.c_str(), static_cast<long long>(r0.batch),
+                    static_cast<long long>(r0.seqLen));
         std::printf("  %-4s %-16s %12s %9s\n", "rank", "schedule",
                     "iter [ms]", "vs best");
         for (size_t i = 0; i < ranked.size(); ++i) {
+            if (ranked[i]->status != runtime::ResultStatus::Ok) {
+                std::printf("  %-4s %-16s %12s  (%s after %d attempts: "
+                            "%s)\n",
+                            "-", ranked[i]->schedule.c_str(), "-",
+                            runtime::resultStatusName(ranked[i]->status),
+                            ranked[i]->attempts, ranked[i]->error.c_str());
+                continue;
+            }
             std::printf("  %-4zu %-16s %12.2f %8.2fx\n", i + 1,
-                        ranked[i]->scenario.schedule.c_str(),
-                        ranked[i]->makespanMs,
-                        ranked[i]->makespanMs /
-                            ranked.front()->makespanMs);
+                        ranked[i]->schedule.c_str(), ranked[i]->makespanMs,
+                        ranked[i]->makespanMs / ranked.front()->makespanMs);
         }
     }
 }
@@ -258,6 +294,46 @@ printProfile(const runtime::SweepStats &stats)
                     "(%llu cold simulations)\n",
                     sim_ms.mean(), sim_ms.maxValue(),
                     static_cast<unsigned long long>(sim_ms.count()));
+}
+
+/**
+ * The robust.* counter inventory (docs/OBSERVABILITY.md): printed by
+ * --profile and --selftest whenever the fault-tolerant runner did any
+ * work this process.
+ */
+void
+printRobustCounters()
+{
+    static const char *const kNames[] = {
+        "robust.scenario.ok",
+        "robust.scenario.resumed",
+        "robust.scenario.failedAttempts",
+        "robust.scenario.quarantined",
+        "robust.retry.count",
+        "robust.worker.forks",
+        "robust.worker.crashes",
+        "robust.worker.timeouts",
+        "robust.journal.appends",
+        "robust.journal.recovered",
+        "robust.journal.tornRecords",
+        "robust.fault.injected.eval",
+        "robust.fault.injected.crash",
+        "robust.fault.injected.timeout",
+        "robust.fault.injected.torn",
+        "robust.fault.injected.killAfter",
+    };
+    bool any = false;
+    for (const char *name : kNames)
+        any = any || stats::counter(name).value() > 0;
+    if (!any)
+        return;
+    std::printf("robustness counters (process-wide):\n");
+    for (const char *name : kNames) {
+        const uint64_t v = stats::counter(name).value();
+        if (v > 0)
+            std::printf("  %-34s %llu\n", name,
+                        static_cast<unsigned long long>(v));
+    }
 }
 
 /** memcmp-level equality of two sweeps' timing results. */
@@ -388,6 +464,105 @@ auditSelftest()
     return live;
 }
 
+/**
+ * Fault-tolerance pass: deterministic injection, retry, quarantine,
+ * and the surviving-bytes contract — a fault-injected robust run's Ok
+ * records must be byte-identical to a clean run's, and the same seed
+ * must fail the same scenarios every time.
+ */
+bool
+robustnessSelftest(const std::vector<runtime::Scenario> &grid)
+{
+    namespace fault = runtime::fault;
+    // A small deterministic slice keeps the pass fast; tight backoff
+    // keeps retries cheap.
+    std::vector<runtime::Scenario> small(
+        grid.begin(),
+        grid.begin() +
+            static_cast<long>(std::min<size_t>(grid.size(), 8)));
+    runtime::RobustOptions opts;
+    opts.numThreads = 2;
+    opts.maxAttempts = 3;
+    opts.backoffBaseMs = 1;
+    opts.backoffMaxMs = 2;
+
+    fault::reset(); // also shields this pass from FSMOE_FAULT
+    const auto clean = runtime::runRobust(small, opts);
+    bool ok = true;
+    for (const auto &r : clean) {
+        if (r.status != runtime::ResultStatus::Ok) {
+            std::printf("  clean robust run FAILED: %s -> %s\n",
+                        r.key().c_str(),
+                        runtime::resultStatusName(r.status));
+            ok = false;
+        }
+    }
+
+    fault::FaultConfig cfg;
+    std::string error;
+    if (!fault::parseSpec("seed=42,eval=0.4", &cfg, &error)) {
+        std::printf("  fault spec parse FAILED: %s\n", error.c_str());
+        return false;
+    }
+    fault::configure(cfg);
+    const auto faulty1 = runtime::runRobust(small, opts);
+    const auto faulty2 = runtime::runRobust(small, opts);
+    fault::reset();
+
+    size_t survivors = 0, quarantined = 0;
+    for (size_t i = 0; i < small.size(); ++i) {
+        if (runtime::toJsonRecord(faulty1[i]) !=
+            runtime::toJsonRecord(faulty2[i])) {
+            std::printf("  injected runs diverge at %s — fault "
+                        "injection is not deterministic\n",
+                        faulty1[i].key().c_str());
+            ok = false;
+        }
+        if (faulty1[i].status == runtime::ResultStatus::Ok) {
+            ++survivors;
+            if (runtime::toJsonRecord(faulty1[i]) !=
+                runtime::toJsonRecord(clean[i])) {
+                std::printf("  surviving result differs from clean run "
+                            "at %s\n",
+                            faulty1[i].key().c_str());
+                ok = false;
+            }
+        } else {
+            ++quarantined;
+        }
+    }
+
+    // Grid-independent retry/quarantine check: a scenario whose every
+    // attempt fails must come back quarantined with the full attempt
+    // count, never abort the run.
+    if (!fault::parseSpec("seed=1,eval=1", &cfg, &error)) {
+        std::printf("  fault spec parse FAILED: %s\n", error.c_str());
+        return false;
+    }
+    fault::configure(cfg);
+    const auto doomed =
+        runtime::runRobust({small.front()}, opts);
+    fault::reset();
+    if (doomed.size() != 1 ||
+        doomed[0].status != runtime::ResultStatus::Quarantined ||
+        doomed[0].attempts != opts.maxAttempts || doomed[0].error.empty()) {
+        std::printf("  quarantine contract FAILED (status %s, "
+                    "%d attempts)\n",
+                    doomed.empty()
+                        ? "?"
+                        : runtime::resultStatusName(doomed[0].status),
+                    doomed.empty() ? 0 : doomed[0].attempts);
+        ok = false;
+    }
+
+    std::printf("  fault injection: %zu of %zu survived, %zu "
+                "quarantined; deterministic + surviving bytes clean: "
+                "%s\n",
+                survivors, small.size(), quarantined, ok ? "ok" : "FAILED");
+    printRobustCounters();
+    return ok;
+}
+
 int
 selftest(const std::vector<runtime::Scenario> &grid)
 {
@@ -424,6 +599,8 @@ selftest(const std::vector<runtime::Scenario> &grid)
 
     const bool persist_ok = persistenceSelftest(grid, serial_results);
 
+    const bool robust_ok = robustnessSelftest(grid);
+
     const bool audit_ok = auditSelftest();
 
     const unsigned hw = std::thread::hardware_concurrency();
@@ -431,18 +608,16 @@ selftest(const std::vector<runtime::Scenario> &grid)
         std::printf("  note: this host exposes %u CPU(s); thread-level "
                     "speedup needs more cores\n",
                     hw);
-    return same && cached && persist_ok && audit_ok ? 0 : 1;
+    return same && cached && persist_ok && robust_ok && audit_ok ? 0 : 1;
 }
 
-/** Write @p text to @p path; stderr + false on failure. */
+/** Atomically write @p text to @p path; stderr + false on failure. */
 bool
 dumpTextFile(const char *path, const std::string &text)
 {
-    std::ofstream out(path, std::ios::binary);
-    out << text;
-    out.close();
-    if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", path);
+    std::string error;
+    if (!fileio::atomicWriteFile(path, text, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
         return false;
     }
     return true;
@@ -459,6 +634,9 @@ usage(const char *argv0)
                  "          [--shard K/N] [--no-sim-cache] [--profile]\n"
                  "          [--explain LABEL|best] [--link-util]\n"
                  "          [--metrics-json FILE] [--self-trace FILE]\n"
+                 "          [--journal FILE] [--resume] [--isolate]\n"
+                 "          [--timeout-ms N] [--max-attempts N]\n"
+                 "          [--inject SPEC]\n"
                  "          [--selftest]\n",
                  argv0);
     return 2;
@@ -485,6 +663,12 @@ main(int argc, char **argv)
     const char *explain = nullptr;
     const char *metrics_json = nullptr;
     const char *self_trace = nullptr;
+    const char *journal_path = nullptr;
+    const char *inject_spec = nullptr;
+    bool resume = false;
+    bool isolate = false;
+    int max_attempts = 3;
+    int timeout_ms = 30000;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -533,10 +717,60 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--self-trace") == 0 &&
                    i + 1 < argc) {
             self_trace = argv[++i];
+        } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+            journal_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            resume = true;
+        } else if (std::strcmp(argv[i], "--isolate") == 0) {
+            isolate = true;
+        } else if (std::strcmp(argv[i], "--inject") == 0 && i + 1 < argc) {
+            inject_spec = argv[++i];
+        } else if (std::strcmp(argv[i], "--max-attempts") == 0 &&
+                   i + 1 < argc) {
+            max_attempts = std::atoi(argv[++i]);
+            if (max_attempts < 1) {
+                std::fprintf(stderr, "bad --max-attempts '%s'\n", argv[i]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--timeout-ms") == 0 &&
+                   i + 1 < argc) {
+            timeout_ms = std::atoi(argv[++i]);
+            if (timeout_ms < 1) {
+                std::fprintf(stderr, "bad --timeout-ms '%s'\n", argv[i]);
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--selftest") == 0) {
             run_selftest = true;
         } else {
             return usage(argv[0]);
+        }
+    }
+
+    if (resume && journal_path == nullptr) {
+        std::fprintf(stderr, "--resume needs --journal FILE\n");
+        return 2;
+    }
+    if (inject_spec != nullptr) {
+        runtime::fault::FaultConfig fault_cfg;
+        std::string fault_error;
+        if (!runtime::fault::parseSpec(inject_spec, &fault_cfg,
+                                       &fault_error)) {
+            std::fprintf(stderr, "bad --inject: %s\n", fault_error.c_str());
+            return 2;
+        }
+        runtime::fault::configure(fault_cfg);
+    }
+    // Refuse unwritable output destinations up front: a sweep is
+    // expensive, and discovering at the end that --out-json points
+    // into a missing directory silently loses everything.
+    for (const char *out_path :
+         {out_json, out_csv, metrics_json, self_trace, trace_path,
+          journal_path}) {
+        std::string werr;
+        if (out_path != nullptr &&
+            !fileio::checkWritable(out_path, &werr)) {
+            std::fprintf(stderr, "fsmoe_sweep: %s\n", werr.c_str());
+            return 2;
         }
     }
 
@@ -561,60 +795,126 @@ main(int argc, char **argv)
         unsigned hw = std::thread::hardware_concurrency();
         threads = hw > 0 ? static_cast<int>(hw) : 1;
     }
-    runtime::SweepOptions opts;
-    opts.numThreads = threads;
-    // --explain needs the retained graph of its scenario, same as the
-    // trace exporter.
-    opts.keepGraphs = trace_path != nullptr || explain != nullptr;
-    opts.enableSimCache = sim_cache;
+
+    // Any fault-tolerance flag (or FSMOE_FAULT in the environment)
+    // routes through the robust runner; the plain engine path below
+    // stays exactly as it always was, byte-gated baselines included.
+    const bool robust = journal_path != nullptr || resume || isolate ||
+                        inject_spec != nullptr ||
+                        runtime::fault::configureFromEnv();
+
     if (self_trace != nullptr)
         runtime::SelfTrace::instance().enable();
-    runtime::SweepEngine engine(opts);
-    auto results = engine.run(grid);
 
-    printRanked(results);
-
-    const runtime::SweepStats stats = engine.stats();
-    std::printf("\n%zu scenarios on %d threads in %.1f ms; cost cache: "
-                "%zu misses, %zu hits; sim cache: %zu misses, %zu hits\n",
-                stats.scenariosRun, threads, stats.lastSweepWallMs,
-                stats.costCacheMisses, stats.costCacheHits,
-                stats.simCacheMisses, stats.simCacheHits);
-    if (profile)
-        printProfile(stats);
-
-    if (explain != nullptr && !results.empty()) {
-        const runtime::ScenarioResult *target = nullptr;
-        if (std::strcmp(explain, "best") == 0) {
-            target = &results.front();
-            for (const auto &r : results)
-                if (r.makespanMs < target->makespanMs)
-                    target = &r;
-        } else {
-            for (const auto &r : results) {
-                if (r.scenario.label() == explain) {
-                    target = &r;
-                    break;
-                }
-            }
-            if (target == nullptr) {
-                std::fprintf(stderr,
-                             "--explain: no scenario labelled '%s' in this "
-                             "grid (labels look like '%s'; or use "
-                             "'best')\n",
-                             explain,
-                             results.front().scenario.label().c_str());
+    std::vector<runtime::SweepResult> records;
+    if (robust) {
+        if (trace_path != nullptr || explain != nullptr) {
+            std::fprintf(stderr,
+                         "--trace/--explain need retained task graphs and "
+                         "are not supported with the fault-tolerant runner "
+                         "(--journal/--resume/--isolate/--inject)\n");
+            return 2;
+        }
+        runtime::RobustOptions ropts;
+        ropts.numThreads = threads;
+        ropts.isolate = isolate;
+        ropts.maxAttempts = max_attempts;
+        ropts.timeoutMs = timeout_ms;
+        runtime::Journal journal;
+        runtime::Journal *journal_ptr = nullptr;
+        if (journal_path != nullptr) {
+            std::string journal_error;
+            if (!journal.open(journal_path, grid, resume, &journal_error)) {
+                std::fprintf(stderr, "fsmoe_sweep: %s\n",
+                             journal_error.c_str());
                 return 2;
             }
+            journal_ptr = &journal;
         }
-        const sim::RunReport report =
-            sim::analyzeRun(target->graph, target->sim);
-        std::printf("\nexplain %s:\n%s",
-                    target->scenario.label().c_str(),
-                    sim::formatRunReport(target->graph, report).c_str());
+        records = runtime::runRobust(grid, ropts, journal_ptr);
+
+        printRanked(records);
+        size_t n_ok = 0;
+        for (const auto &r : records)
+            if (r.status == runtime::ResultStatus::Ok)
+                ++n_ok;
+        std::printf("\n%zu scenarios (robust%s runner): %zu ok, %zu "
+                    "quarantined, %llu resumed from journal\n",
+                    records.size(), isolate ? ", isolated" : "", n_ok,
+                    records.size() - n_ok,
+                    static_cast<unsigned long long>(
+                        stats::counter("robust.scenario.resumed").value()));
+        if (profile)
+            printRobustCounters();
+    } else {
+        runtime::SweepOptions opts;
+        opts.numThreads = threads;
+        // --explain needs the retained graph of its scenario, same as
+        // the trace exporter.
+        opts.keepGraphs = trace_path != nullptr || explain != nullptr;
+        opts.enableSimCache = sim_cache;
+        runtime::SweepEngine engine(opts);
+        auto results = engine.run(grid);
+        records = runtime::toSweepResults(results);
+
+        printRanked(records);
+
+        const runtime::SweepStats stats = engine.stats();
+        std::printf("\n%zu scenarios on %d threads in %.1f ms; cost "
+                    "cache: %zu misses, %zu hits; sim cache: %zu misses, "
+                    "%zu hits\n",
+                    stats.scenariosRun, threads, stats.lastSweepWallMs,
+                    stats.costCacheMisses, stats.costCacheHits,
+                    stats.simCacheMisses, stats.simCacheHits);
+        if (profile)
+            printProfile(stats);
+
+        if (explain != nullptr && !results.empty()) {
+            const runtime::ScenarioResult *target = nullptr;
+            if (std::strcmp(explain, "best") == 0) {
+                target = &results.front();
+                for (const auto &r : results)
+                    if (r.makespanMs < target->makespanMs)
+                        target = &r;
+            } else {
+                for (const auto &r : results) {
+                    if (r.scenario.label() == explain) {
+                        target = &r;
+                        break;
+                    }
+                }
+                if (target == nullptr) {
+                    std::fprintf(stderr,
+                                 "--explain: no scenario labelled '%s' in "
+                                 "this grid (labels look like '%s'; or use "
+                                 "'best')\n",
+                                 explain,
+                                 results.front().scenario.label().c_str());
+                    return 2;
+                }
+            }
+            const sim::RunReport report =
+                sim::analyzeRun(target->graph, target->sim);
+            std::printf("\nexplain %s:\n%s",
+                        target->scenario.label().c_str(),
+                        sim::formatRunReport(target->graph, report).c_str());
+        }
+
+        if (trace_path != nullptr) {
+            const runtime::ScenarioResult *best = &results.front();
+            for (const auto &r : results)
+                if (r.makespanMs < best->makespanMs)
+                    best = &r;
+            if (runtime::writeChromeTrace(trace_path, best->graph,
+                                          best->sim,
+                                          best->scenario.label()))
+                std::printf("wrote chrome://tracing JSON for %s to %s\n",
+                            best->scenario.label().c_str(), trace_path);
+            else
+                return 1;
+        }
     }
 
-    const auto records = runtime::toSweepResults(results);
     if (out_json != nullptr) {
         if (!runtime::writeResultsJson(out_json, records, link_util))
             return 2;
@@ -624,19 +924,6 @@ main(int argc, char **argv)
         if (!runtime::writeResultsCsv(out_csv, records, link_util))
             return 2;
         std::printf("wrote %zu results to %s\n", records.size(), out_csv);
-    }
-
-    if (trace_path != nullptr) {
-        const runtime::ScenarioResult *best = &results.front();
-        for (const auto &r : results)
-            if (r.makespanMs < best->makespanMs)
-                best = &r;
-        if (runtime::writeChromeTrace(trace_path, best->graph, best->sim,
-                                      best->scenario.label()))
-            std::printf("wrote chrome://tracing JSON for %s to %s\n",
-                        best->scenario.label().c_str(), trace_path);
-        else
-            return 1;
     }
 
     if (self_trace != nullptr) {

@@ -19,9 +19,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 
+#include "base/fileio.h"
 #include "base/json.h"
 #include "base/stats.h"
 #include "runtime/tuner.h"
@@ -137,6 +137,18 @@ main(int argc, char **argv)
         }
     }
 
+    // Refuse unwritable destinations before searching: discovering a
+    // bad --out-json path only after the search silently loses the
+    // answer.
+    for (const std::string *out_path : {&out_json, &cache_path}) {
+        std::string werr;
+        if (!out_path->empty() &&
+            !fileio::checkWritable(*out_path, &werr)) {
+            std::fprintf(stderr, "fsmoe_tune: %s\n", werr.c_str());
+            return 2;
+        }
+    }
+
     runtime::Tuner tuner(options);
     if (!cache_path.empty()) {
         std::string error;
@@ -187,10 +199,10 @@ main(int argc, char **argv)
     }
 
     if (!out_json.empty()) {
-        std::ofstream out(out_json,
-                          std::ios::binary | std::ios::trunc);
-        if (!out || !(out << runtime::Tuner::answerJson(answer))) {
-            std::fprintf(stderr, "cannot write '%s'\n", out_json.c_str());
+        std::string error;
+        if (!fileio::atomicWriteFile(
+                out_json, runtime::Tuner::answerJson(answer), &error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
             return 1;
         }
     }

@@ -1,0 +1,99 @@
+#include "base/fileio.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "base/stats.h"
+
+namespace fsmoe::fileio {
+
+namespace {
+
+std::string
+tmpPathFor(const std::string &path)
+{
+    return path + ".tmp." + std::to_string(::getpid());
+}
+
+void
+setError(std::string *error, const std::string &what,
+         const std::string &path)
+{
+    if (error != nullptr)
+        *error = what + " '" + path + "': " + std::strerror(errno);
+}
+
+} // namespace
+
+bool
+atomicWriteFile(const std::string &path, const std::string &text,
+                std::string *error)
+{
+    const std::string tmp = tmpPathFor(path);
+    // allowlisted nonatomic-write: this IS the tmp half of tmp+rename.
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+        setError(error, "cannot create temp file", tmp);
+        stats::counter("fileio.atomicWrite.failed").inc();
+        return false;
+    }
+    const bool wrote =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+        std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+    if (std::fclose(f) != 0 || !wrote) {
+        setError(error, "short write to temp file", tmp);
+        std::remove(tmp.c_str());
+        stats::counter("fileio.atomicWrite.failed").inc();
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        setError(error, "cannot rename temp file over", path);
+        std::remove(tmp.c_str());
+        stats::counter("fileio.atomicWrite.failed").inc();
+        return false;
+    }
+    stats::counter("fileio.atomicWrite.count").inc();
+    return true;
+}
+
+bool
+checkWritable(const std::string &path, std::string *error)
+{
+    const std::string tmp = tmpPathFor(path);
+    // allowlisted nonatomic-write: probe file, removed before return.
+    std::FILE *f = std::fopen(tmp.c_str(), "ab");
+    if (f == nullptr) {
+        setError(error, "cannot write", path);
+        return false;
+    }
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return true;
+}
+
+bool
+readTextFile(const std::string &path, std::string *text, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error != nullptr)
+            *error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    if (in.bad()) {
+        if (error != nullptr)
+            *error = "read error on '" + path + "'";
+        return false;
+    }
+    *text = oss.str();
+    return true;
+}
+
+} // namespace fsmoe::fileio

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Crash-safe file IO shared by every persistence surface.
+ *
+ * The repo's artifacts — sweep result files, the tuner's advisor
+ * cache, metrics snapshots, traces — are all gates somewhere: CI
+ * `cmp`s them, a resumed sweep merges against them. A direct
+ * `ofstream` to the final path can leave a *torn* file when the
+ * process dies mid-write (SIGKILL, OOM, disk full), and a torn
+ * artifact silently poisons every later consumer. atomicWriteFile()
+ * closes that hole: the bytes land in a sibling temp file first,
+ * are flushed to disk, and only then rename(2)d over the final path —
+ * POSIX guarantees the rename is atomic, so a reader observes either
+ * the complete old file or the complete new file, never a prefix.
+ *
+ * fsmoe_lint's `nonatomic-write` rule flags `std::ofstream`/`fopen`
+ * writes in src/ so new code reaches for this helper instead (the
+ * helper's own temp-file write and runtime/journal.cc's append-only
+ * log are the audited exceptions).
+ *
+ * Thread-safety: all functions are pure functions of their arguments
+ * plus the filesystem; concurrent atomicWriteFile calls on the same
+ * path serialise at the rename (last writer wins with a complete
+ * file). Determinism: no timestamps or randomness; the temp name is
+ * derived from the target path and the pid.
+ */
+#ifndef FSMOE_BASE_FILEIO_H
+#define FSMOE_BASE_FILEIO_H
+
+#include <string>
+
+namespace fsmoe::fileio {
+
+/**
+ * Atomically replace @p path's contents with @p text: write to
+ * "<path>.tmp.<pid>", flush + fsync, then rename over @p path. On any
+ * failure the temp file is removed, @p path is left untouched, and
+ * *error (when non-null) describes the failing step. Returns true on
+ * success.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &text,
+                     std::string *error = nullptr);
+
+/**
+ * Probe that @p path can be created: atomically writes and removes an
+ * empty "<path>.tmp.<pid>" sibling. Lets a CLI reject an unwritable
+ * --out-json/--journal destination *before* burning a long sweep,
+ * instead of silently losing the output at the end. *error explains
+ * the failure (typically a missing directory or permissions).
+ */
+bool checkWritable(const std::string &path, std::string *error = nullptr);
+
+/**
+ * Read @p path's entire contents into *text. Returns false (and sets
+ * *error when non-null) when the file cannot be opened or read.
+ */
+bool readTextFile(const std::string &path, std::string *text,
+                  std::string *error = nullptr);
+
+} // namespace fsmoe::fileio
+
+#endif // FSMOE_BASE_FILEIO_H

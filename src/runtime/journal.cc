@@ -1,0 +1,242 @@
+#include "runtime/journal.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "base/fileio.h"
+#include "base/logging.h"
+#include "base/stats.h"
+#include "runtime/fault.h"
+
+namespace fsmoe::runtime {
+
+namespace {
+
+uint64_t
+fnv1a(const std::string &text)
+{
+    uint64_t h = 14695981039346656037ULL;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+headerLine(uint64_t grid_fp, size_t grid_size)
+{
+    std::ostringstream oss;
+    oss << "fsmoe-journal v1 grid=" << hex16(grid_fp) << " n=" << grid_size;
+    return oss.str();
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    std::fclose(f);
+    return true;
+}
+
+/**
+ * Parse "<index> <16-hex checksum> <payload>"; checksum-verify and
+ * JSON-parse the payload. Any failure means this line — and
+ * everything after it — is the torn tail.
+ */
+bool
+parseRecordLine(const std::string &line, size_t grid_size, size_t *index,
+                SweepResult *result)
+{
+    const size_t sp1 = line.find(' ');
+    if (sp1 == std::string::npos)
+        return false;
+    const size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos || sp2 - sp1 - 1 != 16)
+        return false;
+    char *end = nullptr;
+    const std::string idx_text = line.substr(0, sp1);
+    const unsigned long long idx = std::strtoull(idx_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || idx_text.empty() ||
+        idx >= grid_size)
+        return false;
+    const unsigned long long sum =
+        std::strtoull(line.substr(sp1 + 1, 16).c_str(), &end, 16);
+    if (end == nullptr || *end != '\0')
+        return false;
+    const std::string payload = line.substr(sp2 + 1);
+    if (fnv1a(payload) != sum)
+        return false;
+    std::string error;
+    if (!parseJsonRecord(payload, result, &error))
+        return false;
+    *index = idx;
+    return true;
+}
+
+} // namespace
+
+Journal::~Journal()
+{
+    close();
+}
+
+uint64_t
+Journal::gridFingerprint(const std::vector<Scenario> &grid)
+{
+    uint64_t h = 14695981039346656037ULL;
+    for (const Scenario &s : grid) {
+        const std::string label = s.label();
+        for (unsigned char c : label) {
+            h ^= c;
+            h *= 1099511628211ULL;
+        }
+        h ^= '\n';
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+bool
+Journal::open(const std::string &path, const std::vector<Scenario> &grid,
+              bool resume, std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    FSMOE_ASSERT(file_ == nullptr, "journal already open");
+    const uint64_t grid_fp = gridFingerprint(grid);
+    const std::string header = headerLine(grid_fp, grid.size());
+    recovered_.clear();
+    gridSize_ = grid.size();
+    path_ = path;
+
+    const bool exists = fileExists(path);
+    if (!resume && exists) {
+        if (error != nullptr)
+            *error = "journal '" + path +
+                     "' already exists; pass --resume to continue it or "
+                     "remove it to start over";
+        return false;
+    }
+
+    if (resume && exists) {
+        std::string text;
+        if (!fileio::readTextFile(path, &text, error))
+            return false;
+        std::istringstream in(text);
+        std::string line;
+        if (!std::getline(in, line) || line != header) {
+            if (error != nullptr)
+                *error = "journal '" + path +
+                         "' does not match this sweep (expected header \"" +
+                         header + "\")";
+            return false;
+        }
+        // Valid prefix survives; the first bad line starts the torn
+        // tail and ends recovery.
+        std::string keep = header + "\n";
+        size_t dropped = 0;
+        while (std::getline(in, line)) {
+            size_t index = 0;
+            SweepResult r;
+            if (!parseRecordLine(line, gridSize_, &index, &r)) {
+                ++dropped;
+                // Count the rest of the file as dropped too.
+                while (std::getline(in, line))
+                    ++dropped;
+                break;
+            }
+            recovered_[index] = std::move(r); // last record wins
+            keep += line + "\n";
+        }
+        if (dropped > 0) {
+            // Rewrite the valid prefix atomically so the next crash
+            // cannot compound a torn tail with another torn tail.
+            if (!fileio::atomicWriteFile(path, keep, error))
+                return false;
+            stats::counter("robust.journal.tornRecords").inc(dropped);
+            FSMOE_WARN("journal '", path, "': dropped ", dropped,
+                       " torn/corrupt record(s); they will be re-run");
+        }
+        stats::counter("robust.journal.recovered").inc(recovered_.size());
+    } else {
+        // Fresh journal: land the header atomically before appending.
+        if (!fileio::atomicWriteFile(path, header + "\n", error))
+            return false;
+    }
+
+    // allowlisted nonatomic-write: the journal is an append-only log;
+    // each record is fsync'd and checksummed, torn tails are truncated
+    // on recovery (see file comment).
+    file_ = std::fopen(path.c_str(), "ab");
+    if (file_ == nullptr) {
+        if (error != nullptr)
+            *error = "cannot append to journal '" + path +
+                     "': " + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+Journal::append(size_t index, const SweepResult &r, std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    FSMOE_ASSERT(file_ != nullptr, "journal not open");
+    FSMOE_ASSERT(index < gridSize_, "journal index out of range");
+    const std::string payload = toJsonRecord(r);
+    const std::string line =
+        std::to_string(index) + " " + hex16(fnv1a(payload)) + " " + payload +
+        "\n";
+
+    if (fault::shouldInject(fault::Site::TornJournalWrite, r.key(), 0)) {
+        // A torn write only exists because the process died mid-append;
+        // manufacture exactly that: half the record, then gone.
+        std::fwrite(line.data(), 1, line.size() / 2, file_);
+        std::fflush(file_);
+        ::fsync(::fileno(file_));
+        ::_exit(137);
+    }
+
+    const bool ok =
+        std::fwrite(line.data(), 1, line.size(), file_) == line.size() &&
+        std::fflush(file_) == 0 && ::fsync(::fileno(file_)) == 0;
+    if (!ok) {
+        if (error != nullptr)
+            *error = "short write to journal '" + path_ +
+                     "': " + std::strerror(errno);
+        return false;
+    }
+    stats::counter("robust.journal.appends").inc();
+
+    if (fault::shouldKillAfterAppend())
+        ::_exit(137); // the record above is durable; nothing after is
+
+    return true;
+}
+
+void
+Journal::close()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+} // namespace fsmoe::runtime

@@ -3,11 +3,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "base/fileio.h"
 #include "base/json.h"
 #include "base/logging.h"
 #include "sim/trace.h"
@@ -152,7 +152,7 @@ splitCsvRecords(const std::string &text, std::vector<std::string> *records)
 }
 
 std::vector<std::string>
-csvHeader(bool with_links)
+csvHeader(bool with_links, bool with_status)
 {
     std::vector<std::string> cols = {
         "model",      "cluster",     "schedule",
@@ -165,44 +165,181 @@ csvHeader(bool with_links)
         for (size_t i = 0; i < kNumLinks; ++i)
             cols.push_back(std::string("link_") + linkName(i) + "_busy_ms");
     }
+    if (with_status) {
+        cols.push_back("status");
+        cols.push_back("attempts");
+        cols.push_back("error");
+    }
     return cols;
+}
+
+/// Does this set need the status columns / fields at all?
+bool
+anyNonOk(const std::vector<SweepResult> &results)
+{
+    for (const SweepResult &r : results)
+        if (r.status != ResultStatus::Ok)
+            return true;
+    return false;
 }
 
 bool
 writeTextFile(const std::string &path, const std::string &text)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out) {
-        FSMOE_WARN("cannot open '", path, "' for writing");
-        return false;
-    }
-    out << text;
-    out.close();
-    if (!out) {
-        FSMOE_WARN("short write to '", path, "'");
+    std::string error;
+    if (!fileio::atomicWriteFile(path, text, &error)) {
+        FSMOE_WARN(error);
         return false;
     }
     return true;
 }
 
-bool
-readTextFile(const std::string &path, std::string *text, std::string *error)
+/// Serialise one record as a JSON object (no surrounding whitespace).
+void
+appendRecordJson(std::ostringstream &oss, const SweepResult &r,
+                 bool include_link_stats)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
+    oss << "{\"model\":\"" << jsonEscape(r.model) << "\","
+        << "\"cluster\":\"" << jsonEscape(r.cluster) << "\","
+        << "\"schedule\":\"" << jsonEscape(r.schedule) << "\","
+        << "\"batch\":" << r.batch << ","
+        << "\"seq_len\":" << r.seqLen << ","
+        << "\"num_layers\":" << r.numLayers << ","
+        << "\"num_experts\":" << r.numExperts << ","
+        << "\"r_max\":" << r.rMax << ","
+        << "\"makespan_ms\":" << fmtDouble(r.makespanMs) << ","
+        << "\"op_time_ms\":{";
+    for (size_t op = 0; op < kNumOps; ++op) {
+        oss << (op == 0 ? "" : ",") << '"' << opName(op)
+            << "\":" << fmtDouble(r.opTimeMs[op]);
+    }
+    oss << '}';
+    if (include_link_stats) {
+        oss << ",\"link_busy_ms\":{";
+        for (size_t li = 0; li < kNumLinks; ++li) {
+            oss << (li == 0 ? "" : ",") << '"' << linkName(li)
+                << "\":" << fmtDouble(r.linkBusyMs[li]);
+        }
+        oss << '}';
+    }
+    if (r.status != ResultStatus::Ok) {
+        oss << ",\"status\":\"" << resultStatusName(r.status) << "\","
+            << "\"attempts\":" << r.attempts << ","
+            << "\"error\":\"" << jsonEscape(r.error) << "\"";
+    }
+    oss << '}';
+}
+
+/// Parse one JSON result object into *out (inverse of the above).
+bool
+parseRecordJson(const json::Value &entry, SweepResult *out,
+                std::string *error, size_t index)
+{
+    const auto bad = [&](const char *field) {
+        if (error) {
+            std::ostringstream oss;
+            oss << "result " << index << ": missing or mistyped \""
+                << field << '"';
+            *error = oss.str();
+        }
+        return false;
+    };
+    if (entry.kind != json::Value::Kind::Object) {
         if (error)
-            *error = "cannot open '" + path + "'";
+            *error = "results entry is not an object";
         return false;
     }
-    std::ostringstream oss;
-    oss << in.rdbuf();
-    *text = oss.str();
+    SweepResult r;
+    if (!jsonString(entry.find("model"), &r.model))
+        return bad("model");
+    if (!jsonString(entry.find("cluster"), &r.cluster))
+        return bad("cluster");
+    if (!jsonString(entry.find("schedule"), &r.schedule))
+        return bad("schedule");
+    int64_t n = 0;
+    if (!jsonInt(entry.find("batch"), &r.batch))
+        return bad("batch");
+    if (!jsonInt(entry.find("seq_len"), &r.seqLen))
+        return bad("seq_len");
+    if (!jsonInt(entry.find("num_layers"), &n))
+        return bad("num_layers");
+    r.numLayers = static_cast<int>(n);
+    if (!jsonInt(entry.find("num_experts"), &n))
+        return bad("num_experts");
+    r.numExperts = static_cast<int>(n);
+    if (!jsonInt(entry.find("r_max"), &n))
+        return bad("r_max");
+    r.rMax = static_cast<int>(n);
+    if (!jsonNumber(entry.find("makespan_ms"), &r.makespanMs))
+        return bad("makespan_ms");
+    const json::Value *ops = entry.find("op_time_ms");
+    if (ops == nullptr || ops->kind != json::Value::Kind::Object)
+        return bad("op_time_ms");
+    for (size_t op = 0; op < kNumOps; ++op) {
+        if (!jsonNumber(ops->find(opName(op)), &r.opTimeMs[op]))
+            return bad(opName(op));
+    }
+    // Optional link breakdown (written with include_link_stats);
+    // absent in older files, which parse identically to before.
+    const json::Value *links = entry.find("link_busy_ms");
+    if (links != nullptr) {
+        if (links->kind != json::Value::Kind::Object)
+            return bad("link_busy_ms");
+        for (size_t li = 0; li < kNumLinks; ++li) {
+            if (!jsonNumber(links->find(linkName(li)), &r.linkBusyMs[li]))
+                return bad(linkName(li));
+        }
+        r.hasLinkStats = true;
+    }
+    // Optional fault-tolerance outcome; absent means Ok.
+    const json::Value *status = entry.find("status");
+    if (status != nullptr) {
+        std::string name;
+        if (!jsonString(status, &name) ||
+            !parseResultStatus(name, &r.status))
+            return bad("status");
+        if (!jsonInt(entry.find("attempts"), &n))
+            return bad("attempts");
+        r.attempts = static_cast<int>(n);
+        if (!jsonString(entry.find("error"), &r.error))
+            return bad("error");
+    }
+    *out = std::move(r);
     return true;
 }
 
 } // namespace
 
 // ---------------------------------------------------------- records
+
+const char *
+resultStatusName(ResultStatus status)
+{
+    switch (status) {
+    case ResultStatus::Ok:
+        return "ok";
+    case ResultStatus::Failed:
+        return "failed";
+    case ResultStatus::Quarantined:
+        return "quarantined";
+    default:
+        return "?";
+    }
+}
+
+bool
+parseResultStatus(const std::string &name, ResultStatus *out)
+{
+    if (name == "ok")
+        *out = ResultStatus::Ok;
+    else if (name == "failed")
+        *out = ResultStatus::Failed;
+    else if (name == "quarantined")
+        *out = ResultStatus::Quarantined;
+    else
+        return false;
+    return true;
+}
 
 std::string
 SweepResult::key() const
@@ -218,6 +355,21 @@ SweepResult::key() const
     if (rMax != 16)
         oss << "/r" << rMax;
     return oss.str();
+}
+
+Scenario
+SweepResult::toScenario() const
+{
+    Scenario s;
+    s.model = model;
+    s.cluster = cluster;
+    s.schedule = schedule;
+    s.batch = batch;
+    s.seqLen = seqLen;
+    s.numLayers = numLayers;
+    s.numExperts = numExperts;
+    s.rMax = rMax;
+    return s;
 }
 
 SweepResult
@@ -260,42 +412,41 @@ toJson(const std::vector<SweepResult> &results, bool include_link_stats)
     oss << "{\"schema\":\"fsmoe-sweep-results\",\"version\":1,"
            "\"results\":[";
     for (size_t i = 0; i < results.size(); ++i) {
-        const SweepResult &r = results[i];
         oss << (i == 0 ? "\n" : ",\n");
-        oss << "{\"model\":\"" << jsonEscape(r.model) << "\","
-            << "\"cluster\":\"" << jsonEscape(r.cluster) << "\","
-            << "\"schedule\":\"" << jsonEscape(r.schedule) << "\","
-            << "\"batch\":" << r.batch << ","
-            << "\"seq_len\":" << r.seqLen << ","
-            << "\"num_layers\":" << r.numLayers << ","
-            << "\"num_experts\":" << r.numExperts << ","
-            << "\"r_max\":" << r.rMax << ","
-            << "\"makespan_ms\":" << fmtDouble(r.makespanMs) << ","
-            << "\"op_time_ms\":{";
-        for (size_t op = 0; op < kNumOps; ++op) {
-            oss << (op == 0 ? "" : ",") << '"' << opName(op)
-                << "\":" << fmtDouble(r.opTimeMs[op]);
-        }
-        oss << '}';
-        if (include_link_stats) {
-            oss << ",\"link_busy_ms\":{";
-            for (size_t li = 0; li < kNumLinks; ++li) {
-                oss << (li == 0 ? "" : ",") << '"' << linkName(li)
-                    << "\":" << fmtDouble(r.linkBusyMs[li]);
-            }
-            oss << '}';
-        }
-        oss << '}';
+        appendRecordJson(oss, results[i], include_link_stats);
     }
     oss << "\n]}\n";
     return oss.str();
 }
 
 std::string
+toJsonRecord(const SweepResult &r)
+{
+    std::ostringstream oss;
+    appendRecordJson(oss, r, r.hasLinkStats);
+    return oss.str();
+}
+
+bool
+parseJsonRecord(const std::string &text, SweepResult *out,
+                std::string *error)
+{
+    json::Value root;
+    if (!json::parse(text, &root, error))
+        return false;
+    return parseRecordJson(root, out, error, 0);
+}
+
+std::string
 toCsv(const std::vector<SweepResult> &results, bool include_link_stats)
 {
     std::ostringstream oss;
-    const std::vector<std::string> header = csvHeader(include_link_stats);
+    // The status columns appear iff any record needs them — a
+    // deterministic function of the result set, so an all-Ok sweep
+    // emits the classic header bytes.
+    const bool with_status = anyNonOk(results);
+    const std::vector<std::string> header =
+        csvHeader(include_link_stats, with_status);
     for (size_t i = 0; i < header.size(); ++i)
         oss << (i == 0 ? "" : ",") << header[i];
     oss << '\n';
@@ -309,6 +460,10 @@ toCsv(const std::vector<SweepResult> &results, bool include_link_stats)
         if (include_link_stats) {
             for (size_t li = 0; li < kNumLinks; ++li)
                 oss << ',' << fmtDouble(r.linkBusyMs[li]);
+        }
+        if (with_status) {
+            oss << ',' << resultStatusName(r.status) << ',' << r.attempts
+                << ',' << csvEscape(r.error);
         }
         oss << '\n';
     }
@@ -346,64 +501,9 @@ parseJson(const std::string &text, std::vector<SweepResult> *out,
     out->clear();
     out->reserve(results->array.size());
     for (size_t i = 0; i < results->array.size(); ++i) {
-        const json::Value &entry = results->array[i];
-        const auto bad = [&](const char *field) {
-            if (error) {
-                std::ostringstream oss;
-                oss << "result " << i << ": missing or mistyped \""
-                    << field << '"';
-                *error = oss.str();
-            }
-            return false;
-        };
-        if (entry.kind != json::Value::Kind::Object) {
-            if (error)
-                *error = "results entry is not an object";
-            return false;
-        }
         SweepResult r;
-        if (!jsonString(entry.find("model"), &r.model))
-            return bad("model");
-        if (!jsonString(entry.find("cluster"), &r.cluster))
-            return bad("cluster");
-        if (!jsonString(entry.find("schedule"), &r.schedule))
-            return bad("schedule");
-        int64_t n = 0;
-        if (!jsonInt(entry.find("batch"), &r.batch))
-            return bad("batch");
-        if (!jsonInt(entry.find("seq_len"), &r.seqLen))
-            return bad("seq_len");
-        if (!jsonInt(entry.find("num_layers"), &n))
-            return bad("num_layers");
-        r.numLayers = static_cast<int>(n);
-        if (!jsonInt(entry.find("num_experts"), &n))
-            return bad("num_experts");
-        r.numExperts = static_cast<int>(n);
-        if (!jsonInt(entry.find("r_max"), &n))
-            return bad("r_max");
-        r.rMax = static_cast<int>(n);
-        if (!jsonNumber(entry.find("makespan_ms"), &r.makespanMs))
-            return bad("makespan_ms");
-        const json::Value *ops = entry.find("op_time_ms");
-        if (ops == nullptr || ops->kind != json::Value::Kind::Object)
-            return bad("op_time_ms");
-        for (size_t op = 0; op < kNumOps; ++op) {
-            if (!jsonNumber(ops->find(opName(op)), &r.opTimeMs[op]))
-                return bad(opName(op));
-        }
-        // Optional link breakdown (written with include_link_stats);
-        // absent in older files, which parse identically to before.
-        const json::Value *links = entry.find("link_busy_ms");
-        if (links != nullptr) {
-            if (links->kind != json::Value::Kind::Object)
-                return bad("link_busy_ms");
-            for (size_t li = 0; li < kNumLinks; ++li) {
-                if (!jsonNumber(links->find(linkName(li)),
-                                &r.linkBusyMs[li]))
-                    return bad(linkName(li));
-            }
-            r.hasLinkStats = true;
-        }
+        if (!parseRecordJson(results->array[i], &r, error, i))
+            return false;
         out->push_back(std::move(r));
     }
     return true;
@@ -424,18 +524,28 @@ parseCsv(const std::string &text, std::vector<SweepResult> *out,
             *error = "empty CSV";
         return false;
     }
-    // The header row decides which of the two writer shapes this file
-    // has: the classic columns, or classic plus the link columns.
+    // The header row decides which writer shape this file has: the
+    // classic columns, optionally plus the link columns, optionally
+    // plus the status columns.
     std::vector<std::string> fields;
     bool with_links = false;
+    bool with_status = false;
     if (!splitCsvRecord(records[0], &fields)) {
         if (error)
             *error = "CSV header does not match the sweep-result schema";
         return false;
     }
-    if (fields == csvHeader(true)) {
-        with_links = true;
-    } else if (fields != csvHeader(false)) {
+    bool known = false;
+    for (bool links : {false, true}) {
+        for (bool status : {false, true}) {
+            if (fields == csvHeader(links, status)) {
+                with_links = links;
+                with_status = status;
+                known = true;
+            }
+        }
+    }
+    if (!known) {
         if (error)
             *error = "CSV header does not match the sweep-result schema";
         return false;
@@ -491,6 +601,15 @@ parseCsv(const std::string &text, std::vector<SweepResult> *out,
             }
             r.hasLinkStats = true;
         }
+        if (with_status) {
+            const size_t base = 9 + kNumOps + (with_links ? kNumLinks : 0);
+            if (!parseResultStatus(fields[base], &r.status))
+                return bad("bad status");
+            if (!parseInt64(fields[base + 1], &n))
+                return bad("bad attempts");
+            r.attempts = static_cast<int>(n);
+            r.error = fields[base + 2];
+        }
         out->push_back(std::move(r));
     }
     return true;
@@ -517,7 +636,7 @@ readResults(const std::string &path, std::vector<SweepResult> *out,
             std::string *error)
 {
     std::string text;
-    if (!readTextFile(path, &text, error))
+    if (!fileio::readTextFile(path, &text, error))
         return false;
     const bool csv =
         path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;

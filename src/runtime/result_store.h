@@ -32,6 +32,27 @@
 
 namespace fsmoe::runtime {
 
+/**
+ * Terminal state of one scenario under the fault-tolerant runner
+ * (runtime/worker). Plain SweepEngine runs only ever produce Ok;
+ * non-Ok records exist so a sweep that hit a poisoned scenario
+ * *completes* — with the failure recorded explicitly — instead of
+ * aborting and losing every healthy result.
+ */
+enum class ResultStatus
+{
+    Ok = 0,          ///< Simulated successfully.
+    Failed = 1,      ///< Last attempt failed; retry budget not exhausted
+                     ///< (only seen in journals mid-run, never final).
+    Quarantined = 2, ///< Failed maxAttempts times; gave up.
+};
+
+/** Stable wire name ("ok", "failed", "quarantined"). */
+const char *resultStatusName(ResultStatus status);
+
+/** Inverse of resultStatusName; false on unknown names. */
+bool parseResultStatus(const std::string &name, ResultStatus *out);
+
 /** One persisted scenario outcome (one JSON object / CSV row). */
 struct SweepResult
 {
@@ -64,12 +85,28 @@ struct SweepResult
     /// and by readers of files that contain the link columns).
     bool hasLinkStats = false;
 
+    // Fault-tolerance outcome (runtime/worker). Serialised only for
+    // non-Ok records — an all-Ok result set emits byte-identical
+    // output to a pre-status writer, which keeps every blessed
+    // baseline valid. For non-Ok records makespanMs/opTimeMs are zero.
+    ResultStatus status = ResultStatus::Ok;
+    /// Evaluation attempts consumed (0 for plain-engine records).
+    int attempts = 0;
+    /// Last failure message for non-Ok records ("" when Ok).
+    std::string error;
+
     /**
      * Stable scenario key used to join result sets in diffResults():
      * identical to Scenario::label() for the scenario that produced
      * this record (e.g. "mixtral-7b/testbedA/FSMoE/b1/L1024").
      */
     std::string key() const;
+
+    /**
+     * Reconstruct the Scenario this record describes (identity fields
+     * only) — what a resumed sweep re-simulates for non-Ok records.
+     */
+    Scenario toScenario() const;
 
     /** Flatten an engine result into its persistent record. */
     static SweepResult fromScenarioResult(const ScenarioResult &r);
@@ -92,12 +129,31 @@ toSweepResults(const std::vector<ScenarioResult> &results);
 // --link-util). Default off: the emitted bytes then match pre-link-stat
 // writers exactly, which is what keeps the blessed demo-grid baseline
 // byte-identical. Readers auto-detect either shape.
+//
+// Status follows the same optional-field discipline: JSON rows carry
+// "status"/"attempts"/"error" members only when non-Ok, and the CSV
+// writer appends the status,attempts,error columns iff the result set
+// contains at least one non-Ok record. All-Ok output is byte-for-byte
+// what a pre-status writer produced; readers auto-detect all four
+// header shapes (links × status).
 // ---------------------------------------------------------------------
 
 std::string toJson(const std::vector<SweepResult> &results,
                    bool include_link_stats = false);
 std::string toCsv(const std::vector<SweepResult> &results,
                   bool include_link_stats = false);
+
+/**
+ * One result as a single-line JSON object — the journal's per-record
+ * payload (runtime/journal). Link stats are included iff the record
+ * carries them and status fields iff the record is non-Ok, so the
+ * line is a deterministic function of the record alone.
+ */
+std::string toJsonRecord(const SweepResult &r);
+
+/** Inverse of toJsonRecord (also accepts multi-line objects). */
+bool parseJsonRecord(const std::string &text, SweepResult *out,
+                     std::string *error);
 
 bool parseJson(const std::string &text, std::vector<SweepResult> *out,
                std::string *error);

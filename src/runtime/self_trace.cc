@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "base/fileio.h"
 #include "base/logging.h"
 
 namespace fsmoe::runtime {
@@ -118,14 +119,12 @@ SelfTrace::write(const std::string &path,
                  const std::string &process_name) const
 {
     const std::string json = chromeTraceJson(process_name);
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-        FSMOE_WARN("cannot open self-trace file '", path, "' for writing");
+    std::string error;
+    if (!fileio::atomicWriteFile(path, json, &error)) {
+        FSMOE_WARN("self-trace: ", error);
         return false;
     }
-    const size_t written = std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    return written == json.size();
+    return true;
 }
 
 SelfSpan::SelfSpan(std::string name, const char *cat)

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "base/fileio.h"
 #include "base/logging.h"
 #include "core/schedules/schedule.h"
 #include "sim/trace.h"
@@ -81,14 +82,12 @@ writeChromeTrace(const std::string &path, const sim::TaskGraph &graph,
                  const std::string &process_name)
 {
     const std::string json = chromeTraceJson(graph, result, process_name);
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-        FSMOE_WARN("cannot open trace file '", path, "' for writing");
+    std::string error;
+    if (!fileio::atomicWriteFile(path, json, &error)) {
+        FSMOE_WARN("trace export: ", error);
         return false;
     }
-    const size_t written = std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    return written == json.size();
+    return true;
 }
 
 } // namespace fsmoe::runtime

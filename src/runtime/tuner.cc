@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <set>
 #include <sstream>
 #include <unordered_map>
@@ -10,6 +9,7 @@
 #include <utility>
 
 #include "base/audit.h"
+#include "base/fileio.h"
 #include "base/json.h"
 #include "base/logging.h"
 #include "core/schedules/param_space.h"
@@ -422,17 +422,12 @@ Tuner::search(const TuneQuery &query)
 bool
 Tuner::loadCache(const std::string &path, std::string *error)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        if (error)
-            *error = "cannot open '" + path + "'";
+    std::string text;
+    if (!fileio::readTextFile(path, &text, error))
         return false;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
     json::Value root;
     std::string parse_error;
-    if (!json::parse(buf.str(), &root, &parse_error)) {
+    if (!json::parse(text, &root, &parse_error)) {
         if (error)
             *error = "'" + path + "': " + parse_error;
         return false;
@@ -488,13 +483,7 @@ Tuner::saveCache(const std::string &path, std::string *error) const
     if (!cache_.empty())
         oss << "\n  ";
     oss << "]\n}\n";
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out || !(out << oss.str()) || !out.flush()) {
-        if (error)
-            *error = "cannot write '" + path + "'";
-        return false;
-    }
-    return true;
+    return fileio::atomicWriteFile(path, oss.str(), error);
 }
 
 std::string

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fault-tolerant sweep execution: retries, quarantine, and
+ * crash-isolated workers.
+ *
+ * runRobust() is the resilient counterpart of SweepEngine::run(): it
+ * evaluates a scenario grid to completion even when individual
+ * scenarios fail, crash their worker, or hang. Failed scenarios are
+ * retried with a bounded deterministic backoff; a scenario that fails
+ * maxAttempts times is *quarantined* — recorded with
+ * ResultStatus::Quarantined and the last error instead of aborting
+ * the sweep. Healthy scenarios produce bytes identical to the plain
+ * engine's (same pure evaluation path), which is what lets a
+ * fault-injected sweep's surviving results merge byte-identical to a
+ * clean run.
+ *
+ * Two execution modes:
+ *
+ *   in-process (default) — scenarios run on a ThreadPool like the
+ *     plain engine, each wrapped in the retry loop. A crashing
+ *     scenario (real or injected) takes the whole process down; with
+ *     a journal that is exactly the mid-sweep-kill case --resume
+ *     recovers from. Watchdog timeouts are not enforceable here.
+ *
+ *   isolate (--isolate) — the supervisor stays single-threaded (fork
+ *     from a threaded process is a deadlock lottery) and forks one
+ *     child per attempt. The child evaluates its scenario and reports
+ *     "ok <json>" or "err <msg>" over a pipe; the supervisor enforces
+ *     a per-scenario watchdog timeout (SIGKILL on expiry), classifies
+ *     crashes/timeouts/errors, and applies the same
+ *     retry-then-quarantine policy. A crashing or hung scenario loses
+ *     only its own in-flight work.
+ *
+ * Determinism: evaluation is pure, retries change no result bytes
+ * (only the non-serialised attempts count for Ok records), backoff
+ * delays are a fixed function of the attempt number, and results are
+ * returned in grid order. robust.* counters land in the stats
+ * registry (docs/OBSERVABILITY.md).
+ */
+#ifndef FSMOE_RUNTIME_WORKER_H
+#define FSMOE_RUNTIME_WORKER_H
+
+#include <string>
+#include <vector>
+
+#include "runtime/journal.h"
+#include "runtime/result_store.h"
+#include "runtime/scenario.h"
+
+namespace fsmoe::runtime {
+
+/** Policy knobs for runRobust(). */
+struct RobustOptions
+{
+    /// Worker threads for in-process mode; 0 picks the hardware
+    /// concurrency. Ignored under isolate (the supervisor is serial).
+    int numThreads = 0;
+    /// Fork one subprocess per scenario attempt.
+    bool isolate = false;
+    /// Give up on a scenario after this many failed attempts.
+    int maxAttempts = 3;
+    /// Watchdog: kill an isolated worker after this long (isolate
+    /// mode only; in-process evaluation cannot be preempted).
+    int timeoutMs = 30000;
+    /// Deterministic exponential backoff between attempts:
+    /// min(backoffBaseMs << (attempt-1), backoffMaxMs).
+    int backoffBaseMs = 10;
+    int backoffMaxMs = 1000;
+};
+
+/** The delay before retrying after @p attempt (1-based) failures. */
+int retryBackoffMs(const RobustOptions &opts, int attempt);
+
+/**
+ * Evaluate @p s in this process — the same pure cost → schedule →
+ * simulate path as SweepEngine, so the record's bytes match the
+ * engine's exactly. Throws std::runtime_error on failure (including
+ * the injected `eval` fault site, which keys on (scenario key,
+ * @p attempt) so a retry can succeed).
+ */
+SweepResult evaluateScenario(const Scenario &s, int attempt);
+
+/**
+ * Evaluate @p grid to completion under @p opts, honouring
+ * fault-injection sites (runtime/fault.h). Results come back in grid
+ * order, one per scenario: Ok records carry the simulation outcome,
+ * Quarantined records carry the attempt count and last error.
+ *
+ * With @p journal (open, same grid) every finished scenario is
+ * appended as it completes, and entries recovered by the journal are
+ * honoured: Ok entries are not re-simulated; Failed/Quarantined
+ * entries are re-attempted fresh.
+ */
+std::vector<SweepResult> runRobust(const std::vector<Scenario> &grid,
+                                   const RobustOptions &opts,
+                                   Journal *journal = nullptr);
+
+} // namespace fsmoe::runtime
+
+#endif // FSMOE_RUNTIME_WORKER_H

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the crash-safe file IO helpers: atomic tmp+rename writes,
+ * the writability probe, and whole-file reads. The key properties are
+ * that a successful write is complete, a failed write leaves the
+ * destination untouched, and neither path leaves temp files behind.
+ */
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/fileio.h"
+
+namespace fsmoe::fileio {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh per-test scratch directory under the gtest temp root. */
+fs::path
+scratchDir(const char *name)
+{
+    fs::path dir = fs::path(testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+/** Paths in @p dir containing ".tmp." — atomic-write leftovers. */
+std::vector<std::string>
+tmpLeftovers(const fs::path &dir)
+{
+    std::vector<std::string> out;
+    for (const auto &entry : fs::directory_iterator(dir))
+        if (entry.path().filename().string().find(".tmp.") !=
+            std::string::npos)
+            out.push_back(entry.path().string());
+    return out;
+}
+
+TEST(FileIo, AtomicWriteRoundTripsAndOverwrites)
+{
+    const fs::path dir = scratchDir("fileio_roundtrip");
+    const std::string path = (dir / "out.json").string();
+
+    std::string error;
+    ASSERT_TRUE(atomicWriteFile(path, "first\n", &error)) << error;
+    std::string text;
+    ASSERT_TRUE(readTextFile(path, &text, &error)) << error;
+    EXPECT_EQ(text, "first\n");
+
+    // Overwrite must fully replace, not append or partially update.
+    ASSERT_TRUE(atomicWriteFile(path, "second version\n", &error))
+        << error;
+    ASSERT_TRUE(readTextFile(path, &text, &error)) << error;
+    EXPECT_EQ(text, "second version\n");
+
+    EXPECT_TRUE(tmpLeftovers(dir).empty());
+}
+
+TEST(FileIo, AtomicWriteHandlesEmptyAndBinaryContent)
+{
+    const fs::path dir = scratchDir("fileio_content");
+    const std::string path = (dir / "blob").string();
+
+    std::string blob = "a\0b\r\n\xff tail";
+    blob[1] = '\0'; // ensure an embedded NUL really is present
+    std::string error;
+    ASSERT_TRUE(atomicWriteFile(path, blob, &error)) << error;
+    std::string text;
+    ASSERT_TRUE(readTextFile(path, &text, &error)) << error;
+    EXPECT_EQ(text, blob);
+
+    ASSERT_TRUE(atomicWriteFile(path, "", &error)) << error;
+    ASSERT_TRUE(readTextFile(path, &text, &error)) << error;
+    EXPECT_EQ(text, "");
+}
+
+TEST(FileIo, FailedWriteLeavesDestinationUntouchedAndExplains)
+{
+    const std::string path = "/nonexistent-dir/sub/out.json";
+    std::string error;
+    EXPECT_FALSE(atomicWriteFile(path, "payload", &error));
+    EXPECT_NE(error.find(path), std::string::npos) << error;
+    EXPECT_FALSE(fs::exists(path));
+
+    // Existing destination + unwritable write must keep the old bytes.
+    const fs::path dir = scratchDir("fileio_keep");
+    const std::string keep = (dir / "keep.txt").string();
+    ASSERT_TRUE(atomicWriteFile(keep, "precious\n", &error)) << error;
+    fs::permissions(dir, fs::perms::owner_read | fs::perms::owner_exec);
+    std::string text;
+    if (!atomicWriteFile(keep, "clobbered\n", &error)) {
+        // (Skipped when running as root, where the chmod is advisory.)
+        ASSERT_TRUE(readTextFile(keep, &text, &error)) << error;
+        EXPECT_EQ(text, "precious\n");
+    }
+    fs::permissions(dir, fs::perms::owner_all);
+}
+
+TEST(FileIo, CheckWritableProbesWithoutCreatingTheTarget)
+{
+    const fs::path dir = scratchDir("fileio_probe");
+    const std::string path = (dir / "future-output.json").string();
+
+    std::string error;
+    EXPECT_TRUE(checkWritable(path, &error)) << error;
+    EXPECT_FALSE(fs::exists(path)); // probe must not create the target
+    EXPECT_TRUE(tmpLeftovers(dir).empty());
+
+    EXPECT_FALSE(checkWritable("/nonexistent-dir/out.json", &error));
+    EXPECT_NE(error.find("/nonexistent-dir/out.json"), std::string::npos)
+        << error;
+}
+
+TEST(FileIo, ReadTextFileReportsMissingFiles)
+{
+    std::string text = "sentinel";
+    std::string error;
+    EXPECT_FALSE(readTextFile("/nonexistent-dir/in.txt", &text, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace
+} // namespace fsmoe::fileio

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests for the append-only checkpoint journal: round-trip recovery,
+ * torn-tail truncation, corrupt-record handling, grid-mismatch
+ * rejection, and the last-record-wins / only-Ok-counts-as-done resume
+ * semantics. The torn-write fault site gets an end-to-end test via
+ * fork: the child dies mid-append and the parent recovers.
+ */
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/fileio.h"
+#include "runtime/fault.h"
+#include "runtime/journal.h"
+#include "runtime/result_store.h"
+#include "runtime/scenario.h"
+
+namespace fsmoe::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+scratchPath(const char *name)
+{
+    fs::path p = fs::path(testing::TempDir()) / name;
+    fs::remove(p);
+    return p.string();
+}
+
+std::vector<Scenario>
+smallGrid()
+{
+    return ScenarioGrid()
+        .models({"gpt2xl-moe"})
+        .clusters({"testbedA"})
+        .numLayers({1})
+        .build();
+}
+
+/** A fabricated (not simulated) record for grid scenario @p index. */
+SweepResult
+recordFor(const std::vector<Scenario> &grid, size_t index,
+          double makespan)
+{
+    const Scenario &s = grid[index];
+    SweepResult r;
+    r.model = s.model;
+    r.cluster = s.cluster;
+    r.schedule = s.schedule;
+    r.batch = s.batch;
+    r.seqLen = s.seqLen;
+    r.numLayers = s.numLayers;
+    r.numExperts = s.numExperts;
+    r.rMax = s.rMax;
+    r.makespanMs = makespan;
+    return r;
+}
+
+std::string
+readAll(const std::string &path)
+{
+    std::string text, error;
+    EXPECT_TRUE(fileio::readTextFile(path, &text, &error)) << error;
+    return text;
+}
+
+TEST(Journal, RoundTripRecoversEveryAppendedRecord)
+{
+    const auto grid = smallGrid();
+    const std::string path = scratchPath("journal_roundtrip.txt");
+
+    Journal j;
+    std::string error;
+    ASSERT_TRUE(j.open(path, grid, /*resume=*/false, &error)) << error;
+    EXPECT_TRUE(j.recovered().empty());
+    for (size_t i = 0; i < grid.size(); ++i)
+        ASSERT_TRUE(j.append(i, recordFor(grid, i, 10.0 + i), &error))
+            << error;
+    j.close();
+
+    Journal back;
+    ASSERT_TRUE(back.open(path, grid, /*resume=*/true, &error)) << error;
+    ASSERT_EQ(back.recovered().size(), grid.size());
+    for (size_t i = 0; i < grid.size(); ++i) {
+        const auto it = back.recovered().find(i);
+        ASSERT_NE(it, back.recovered().end()) << "missing index " << i;
+        EXPECT_EQ(toJsonRecord(it->second),
+                  toJsonRecord(recordFor(grid, i, 10.0 + i)));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Journal, RefusesToOverwriteAnExistingJournalWithoutResume)
+{
+    const auto grid = smallGrid();
+    const std::string path = scratchPath("journal_exists.txt");
+
+    Journal j;
+    std::string error;
+    ASSERT_TRUE(j.open(path, grid, /*resume=*/false, &error)) << error;
+    j.close();
+
+    Journal again;
+    EXPECT_FALSE(again.open(path, grid, /*resume=*/false, &error));
+    EXPECT_NE(error.find("--resume"), std::string::npos) << error;
+    std::remove(path.c_str());
+}
+
+TEST(Journal, RejectsResumeAgainstADifferentGrid)
+{
+    const auto grid = smallGrid();
+    const std::string path = scratchPath("journal_gridmismatch.txt");
+
+    Journal j;
+    std::string error;
+    ASSERT_TRUE(j.open(path, grid, /*resume=*/false, &error)) << error;
+    ASSERT_TRUE(j.append(0, recordFor(grid, 0, 1.0), &error)) << error;
+    j.close();
+
+    const auto other = ScenarioGrid()
+                           .models({"gpt2xl-moe"})
+                           .clusters({"testbedB"})
+                           .numLayers({1})
+                           .build();
+    ASSERT_NE(Journal::gridFingerprint(grid),
+              Journal::gridFingerprint(other));
+    Journal back;
+    EXPECT_FALSE(back.open(path, other, /*resume=*/true, &error));
+    EXPECT_FALSE(error.empty());
+    std::remove(path.c_str());
+}
+
+TEST(Journal, TornTailIsDroppedAndTruncatedOnResume)
+{
+    const auto grid = smallGrid();
+    const std::string path = scratchPath("journal_torn.txt");
+
+    Journal j;
+    std::string error;
+    ASSERT_TRUE(j.open(path, grid, /*resume=*/false, &error)) << error;
+    ASSERT_TRUE(j.append(0, recordFor(grid, 0, 1.0), &error)) << error;
+    ASSERT_TRUE(j.append(1, recordFor(grid, 1, 2.0), &error)) << error;
+    j.close();
+
+    // Simulate a crash mid-append: a final record missing its tail.
+    const std::string intact = readAll(path);
+    const std::string full_line =
+        "2 0123456789abcdef {\"model\":\"gpt2xl-moe\",\"truncated";
+    ASSERT_TRUE(fileio::atomicWriteFile(
+        path, intact + full_line.substr(0, 30), &error))
+        << error;
+
+    Journal back;
+    ASSERT_TRUE(back.open(path, grid, /*resume=*/true, &error)) << error;
+    EXPECT_EQ(back.recovered().size(), 2u);
+    EXPECT_EQ(back.recovered().count(2), 0u);
+    back.close();
+
+    // Recovery must also have rewritten the file to the valid prefix,
+    // so a second recovery sees a clean journal.
+    EXPECT_EQ(readAll(path), intact);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, CorruptChecksumMarksTheTornTail)
+{
+    const auto grid = smallGrid();
+    const std::string path = scratchPath("journal_corrupt.txt");
+
+    Journal j;
+    std::string error;
+    ASSERT_TRUE(j.open(path, grid, /*resume=*/false, &error)) << error;
+    for (size_t i = 0; i < 3; ++i)
+        ASSERT_TRUE(j.append(i, recordFor(grid, i, 1.0 + i), &error))
+            << error;
+    j.close();
+
+    // Flip one hex digit of record 1's checksum: record 1 *and* the
+    // still-valid record 2 behind it are the torn tail — a corrupt
+    // middle means append order can no longer be trusted.
+    std::string text = readAll(path);
+    std::vector<std::string> lines;
+    for (size_t pos = 0; pos < text.size();) {
+        size_t nl = text.find('\n', pos);
+        lines.push_back(text.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    ASSERT_EQ(lines.size(), 4u); // header + 3 records
+    std::string &rec1 = lines[2];
+    size_t sum_pos = rec1.find(' ') + 1;
+    rec1[sum_pos] = rec1[sum_pos] == '0' ? '1' : '0';
+    std::string rebuilt;
+    for (const std::string &l : lines)
+        rebuilt += l + "\n";
+    ASSERT_TRUE(fileio::atomicWriteFile(path, rebuilt, &error)) << error;
+
+    Journal back;
+    ASSERT_TRUE(back.open(path, grid, /*resume=*/true, &error)) << error;
+    EXPECT_EQ(back.recovered().size(), 1u);
+    EXPECT_EQ(back.recovered().count(0), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, LastRecordWinsForAnIndexAppendedTwice)
+{
+    const auto grid = smallGrid();
+    const std::string path = scratchPath("journal_lastwins.txt");
+
+    Journal j;
+    std::string error;
+    ASSERT_TRUE(j.open(path, grid, /*resume=*/false, &error)) << error;
+    SweepResult failed = recordFor(grid, 0, 0.0);
+    failed.status = ResultStatus::Failed;
+    failed.attempts = 1;
+    failed.error = "transient";
+    ASSERT_TRUE(j.append(0, failed, &error)) << error;
+    ASSERT_TRUE(j.append(0, recordFor(grid, 0, 7.0), &error)) << error;
+    j.close();
+
+    Journal back;
+    ASSERT_TRUE(back.open(path, grid, /*resume=*/true, &error)) << error;
+    ASSERT_EQ(back.recovered().size(), 1u);
+    const SweepResult &r = back.recovered().at(0);
+    EXPECT_EQ(r.status, ResultStatus::Ok);
+    EXPECT_DOUBLE_EQ(r.makespanMs, 7.0);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, NonOkRecordsRoundTripWithStatusIntact)
+{
+    const auto grid = smallGrid();
+    const std::string path = scratchPath("journal_status.txt");
+
+    Journal j;
+    std::string error;
+    ASSERT_TRUE(j.open(path, grid, /*resume=*/false, &error)) << error;
+    SweepResult q = recordFor(grid, 1, 0.0);
+    q.status = ResultStatus::Quarantined;
+    q.attempts = 3;
+    q.error = "injected eval fault (attempt 3)";
+    ASSERT_TRUE(j.append(1, q, &error)) << error;
+    j.close();
+
+    Journal back;
+    ASSERT_TRUE(back.open(path, grid, /*resume=*/true, &error)) << error;
+    ASSERT_EQ(back.recovered().count(1), 1u);
+    const SweepResult &r = back.recovered().at(1);
+    EXPECT_EQ(r.status, ResultStatus::Quarantined);
+    EXPECT_EQ(r.attempts, 3);
+    EXPECT_EQ(r.error, q.error);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, InjectedTornWriteIsRecoveredAfterProcessDeath)
+{
+    const auto grid = smallGrid();
+    const std::string path = scratchPath("journal_torn_injected.txt");
+
+    // The torn site kills the writing process by design, so exercise
+    // it in a forked child and recover in the parent.
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        fault::FaultConfig cfg;
+        std::string error;
+        if (!fault::parseSpec("seed=1,torn=1", &cfg, &error))
+            ::_exit(3);
+        fault::configure(cfg);
+        Journal j;
+        if (!j.open(path, grid, /*resume=*/false, &error))
+            ::_exit(4);
+        j.append(0, recordFor(grid, 0, 5.0), &error); // must not return
+        ::_exit(5);
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 137) << "child survived the torn "
+                                           "write it was told to die in";
+
+    Journal back;
+    std::string error;
+    ASSERT_TRUE(back.open(path, grid, /*resume=*/true, &error)) << error;
+    EXPECT_TRUE(back.recovered().empty())
+        << "a half-written record must not be recovered";
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace fsmoe::runtime

@@ -155,6 +155,95 @@ TEST(ResultStore, DefaultWritersOmitLinkStats)
         EXPECT_FALSE(r.hasLinkStats);
 }
 
+TEST(ResultStore, StatusFieldsRoundTripThroughAllFourHeaderShapes)
+{
+    auto records = sweptResults();
+    ASSERT_GE(records.size(), 3u);
+    records[1].status = ResultStatus::Quarantined;
+    records[1].attempts = 3;
+    records[1].error = "injected eval fault, \"quoted\" and, commas";
+    records[1].makespanMs = 0.0;
+    records[1].opTimeMs.fill(0.0);
+    records[2].status = ResultStatus::Failed;
+    records[2].attempts = 1;
+    records[2].error = "transient";
+    records[2].makespanMs = 0.0;
+    records[2].opTimeMs.fill(0.0);
+
+    for (bool links : {false, true}) {
+        SCOPED_TRACE(links ? "with links" : "without links");
+        std::vector<SweepResult> reread;
+        std::string error;
+        ASSERT_TRUE(parseJson(toJson(records, links), &reread, &error))
+            << error;
+        expectBitEqual(records, reread);
+        ASSERT_TRUE(parseCsv(toCsv(records, links), &reread, &error))
+            << error;
+        expectBitEqual(records, reread);
+        EXPECT_EQ(reread[0].status, ResultStatus::Ok);
+        EXPECT_EQ(reread[1].status, ResultStatus::Quarantined);
+        EXPECT_EQ(reread[1].attempts, 3);
+        EXPECT_EQ(reread[1].error, records[1].error);
+        EXPECT_EQ(reread[2].status, ResultStatus::Failed);
+        EXPECT_EQ(reread[2].attempts, 1);
+    }
+}
+
+TEST(ResultStore, AllOkOutputIsByteIdenticalToPreStatusWriters)
+{
+    // The status columns are strictly opt-in-by-necessity: a result
+    // set without failures serialises to the exact bytes the writers
+    // emitted before status existed, keeping blessed baselines valid.
+    const auto records = sweptResults();
+    EXPECT_EQ(toJson(records).find("status"), std::string::npos);
+    EXPECT_EQ(toCsv(records).find("status"), std::string::npos);
+    for (const SweepResult &r : records)
+        EXPECT_EQ(toJsonRecord(r).find("status"), std::string::npos);
+}
+
+TEST(ResultStore, JournalRecordRoundTripsStatusAndLinkStats)
+{
+    auto records = sweptResults();
+    SweepResult ok = records[0];
+    SweepResult bad = records[1];
+    bad.status = ResultStatus::Quarantined;
+    bad.attempts = 2;
+    bad.error = "worker killed by signal 9";
+    bad.makespanMs = 0.0;
+    bad.opTimeMs.fill(0.0);
+
+    for (const SweepResult &r : {ok, bad}) {
+        const std::string line = toJsonRecord(r);
+        EXPECT_EQ(line.find('\n'), std::string::npos);
+        SweepResult reread;
+        std::string error;
+        ASSERT_TRUE(parseJsonRecord(line, &reread, &error)) << error;
+        EXPECT_EQ(toJsonRecord(reread), line);
+        EXPECT_EQ(reread.status, r.status);
+        EXPECT_EQ(reread.attempts, r.attempts);
+        EXPECT_EQ(reread.hasLinkStats, r.hasLinkStats);
+    }
+    SweepResult out;
+    std::string error;
+    EXPECT_FALSE(parseJsonRecord("not json", &out, &error));
+    EXPECT_FALSE(parseJsonRecord("{\"model\":\"m\"}", &out, &error));
+}
+
+TEST(ResultStore, ParseResultStatusAcceptsOnlyWireNames)
+{
+    ResultStatus s;
+    EXPECT_TRUE(parseResultStatus("ok", &s));
+    EXPECT_EQ(s, ResultStatus::Ok);
+    EXPECT_TRUE(parseResultStatus("failed", &s));
+    EXPECT_EQ(s, ResultStatus::Failed);
+    EXPECT_TRUE(parseResultStatus("quarantined", &s));
+    EXPECT_EQ(s, ResultStatus::Quarantined);
+    EXPECT_FALSE(parseResultStatus("OK", &s));
+    EXPECT_FALSE(parseResultStatus("", &s));
+    EXPECT_STREQ(resultStatusName(ResultStatus::Quarantined),
+                 "quarantined");
+}
+
 TEST(ResultStore, AwkwardValuesAndNamesSurviveBothFormats)
 {
     SweepResult r;

@@ -1,0 +1,27 @@
+// Fixture: non-atomic writes straight to a final output path. A crash
+// between open and close leaves a torn file at the destination; all
+// output must go through fsmoe::fileio::atomicWriteFile. Expected
+// findings: 3 nonatomic-write.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+void
+writeReport(const std::string &path, const std::string &body)
+{
+    std::ofstream out(path); // BAD: torn file if we die before close
+    out << body;
+}
+
+void
+writeLog(const char *path, const char *line)
+{
+    std::FILE *f = std::fopen(path, "w"); // BAD: truncates, then dies?
+    if (f == nullptr)
+        return;
+    std::fputs(line, f);
+    std::fclose(f);
+    FILE *g = fopen(path, "a"); // BAD: unqualified fopen, same hazard
+    if (g != nullptr)
+        std::fclose(g);
+}

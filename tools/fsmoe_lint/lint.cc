@@ -15,7 +15,7 @@ namespace {
 const char *const kRuleIds[] = {
     "unordered-iter", "float-accum-unordered", "banned-rand",
     "banned-time",    "pointer-hash",          "thread-id",
-    "addr-order",     "static-mutable",
+    "addr-order",     "static-mutable",        "nonatomic-write",
 };
 
 std::string
@@ -245,6 +245,14 @@ simpleRules()
                      std::regex(R"(reinterpret_cast\s*<\s*u?intptr_t\s*>|std\s*::\s*less\s*<[^>]*\*)"),
                      "address-keyed ordering; addresses differ per run "
                      "under ASLR — order by stable ids or content"});
+        // Literal-stripping blanks fopen's mode string, so read-mode
+        // fopen also fires; audited read probes go on the allowlist.
+        r.push_back({"nonatomic-write",
+                     std::regex(R"(std\s*::\s*ofstream\b|\bfopen\s*\()"),
+                     "direct stream/FILE write to a final path; a crash "
+                     "mid-write leaves a torn file that readers see as "
+                     "valid-but-truncated — route output through "
+                     "fsmoe::fileio::atomicWriteFile (tmp + rename)"});
         return r;
     }();
     return rules;

@@ -74,6 +74,7 @@ const FixtureCase kCases[] = {
     {"hazard_thread_id.cc", "thread-id", 2, 2},
     {"hazard_addr_order.cc", "addr-order", 2, 2},
     {"hazard_static_mutable.cc", "static-mutable", 2, 2},
+    {"hazard_nonatomic_write.cc", "nonatomic-write", 3, 3},
 };
 
 TEST(FsmoeLint, EveryHazardClassIsFlaggedWithExactCount)
