@@ -77,6 +77,18 @@
  *   --inject SPEC    deterministic fault injection, e.g.
  *                    "seed=7,eval=0.3,crash=0.1,timeout=0.05,torn=0.2,
  *                    kill-after=12" (see runtime/fault.h)
+ *   --stop-after N   act as if SIGTERM arrived after N finished
+ *                    scenarios — the deterministic, scheduler-
+ *                    independent way to exercise the graceful-stop
+ *                    path below
+ *
+ * Graceful stop: under the fault-tolerant runner SIGINT/SIGTERM do
+ * not kill the sweep mid-write — the journal record in flight is
+ * flushed, no new scenario starts, a resume hint is printed, and the
+ * process exits with the conventional 128+signal code (130/143). No
+ * partial --out-json/--out-csv is written; resume from the journal
+ * to converge to the uninterrupted run's bytes. A second signal
+ * falls through to the default disposition and kills immediately.
  */
 #include <cstdint>
 #include <cstdio>
@@ -90,6 +102,7 @@
 
 #include "base/audit.h"
 #include "base/fileio.h"
+#include "base/interrupt.h"
 #include "base/stats.h"
 #include "core/schedules/schedule_registry.h"
 #include "core/solver_cache.h"
@@ -636,7 +649,7 @@ usage(const char *argv0)
                  "          [--metrics-json FILE] [--self-trace FILE]\n"
                  "          [--journal FILE] [--resume] [--isolate]\n"
                  "          [--timeout-ms N] [--max-attempts N]\n"
-                 "          [--inject SPEC]\n"
+                 "          [--inject SPEC] [--stop-after N]\n"
                  "          [--selftest]\n",
                  argv0);
     return 2;
@@ -669,6 +682,7 @@ main(int argc, char **argv)
     bool isolate = false;
     int max_attempts = 3;
     int timeout_ms = 30000;
+    int stop_after = 0;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -739,6 +753,13 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "bad --timeout-ms '%s'\n", argv[i]);
                 return 2;
             }
+        } else if (std::strcmp(argv[i], "--stop-after") == 0 &&
+                   i + 1 < argc) {
+            stop_after = std::atoi(argv[++i]);
+            if (stop_after < 1) {
+                std::fprintf(stderr, "bad --stop-after '%s'\n", argv[i]);
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--selftest") == 0) {
             run_selftest = true;
         } else {
@@ -800,7 +821,7 @@ main(int argc, char **argv)
     // routes through the robust runner; the plain engine path below
     // stays exactly as it always was, byte-gated baselines included.
     const bool robust = journal_path != nullptr || resume || isolate ||
-                        inject_spec != nullptr ||
+                        inject_spec != nullptr || stop_after > 0 ||
                         runtime::fault::configureFromEnv();
 
     if (self_trace != nullptr)
@@ -820,6 +841,7 @@ main(int argc, char **argv)
         ropts.isolate = isolate;
         ropts.maxAttempts = max_attempts;
         ropts.timeoutMs = timeout_ms;
+        ropts.stopAfterResults = stop_after;
         runtime::Journal journal;
         runtime::Journal *journal_ptr = nullptr;
         if (journal_path != nullptr) {
@@ -831,8 +853,34 @@ main(int argc, char **argv)
             }
             journal_ptr = &journal;
         }
+        interrupt::installStopHandlers();
         records = runtime::runRobust(grid, ropts, journal_ptr);
 
+        if (interrupt::stopRequested()) {
+            // Graceful stop: every finished scenario's journal record
+            // is already flushed (the handler only sets a flag, so no
+            // append was torn); unstarted scenarios came back as
+            // default records. Writing a partial --out-json would
+            // poison downstream cmp gates, so print the resume hint
+            // and exit with the conventional 128+signal code instead.
+            size_t n_finished = 0;
+            for (const auto &r : records)
+                if (!r.schedule.empty())
+                    ++n_finished;
+            std::printf("\ninterrupted (signal %d) after %zu of %zu "
+                        "scenarios\n",
+                        interrupt::stopSignal(), n_finished,
+                        records.size());
+            if (journal_path != nullptr)
+                std::printf("finished records are safe in %s — resume "
+                            "with: --journal %s --resume\n",
+                            journal_path, journal_path);
+            else
+                std::printf("no journal was kept; rerun with --journal "
+                            "FILE to make interrupted sweeps "
+                            "resumable\n");
+            return interrupt::stopExitCode();
+        }
         printRanked(records);
         size_t n_ok = 0;
         for (const auto &r : records)

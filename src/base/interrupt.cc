@@ -1,0 +1,72 @@
+#include "base/interrupt.h"
+
+#include <atomic>
+
+#include <signal.h>
+
+namespace fsmoe::interrupt {
+
+namespace {
+
+// thread-safe: atomic — written from signal handlers, read from
+// worker loops; relaxed ordering suffices for a monotonic flag.
+std::atomic<int> g_stopSignal{0};
+
+extern "C" void
+stopHandler(int sig)
+{
+    g_stopSignal.store(sig, std::memory_order_relaxed);
+    // A second delivery means the graceful path is stuck; fall back to
+    // the default (terminating) disposition so the next one kills us.
+    struct sigaction dfl;
+    dfl.sa_handler = SIG_DFL;
+    sigemptyset(&dfl.sa_mask);
+    dfl.sa_flags = 0;
+    ::sigaction(sig, &dfl, nullptr);
+}
+
+} // namespace
+
+void
+installStopHandlers()
+{
+    struct sigaction sa;
+    sa.sa_handler = stopHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: poll/read must wake up to drain
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool
+stopRequested()
+{
+    return g_stopSignal.load(std::memory_order_relaxed) != 0;
+}
+
+int
+stopSignal()
+{
+    return g_stopSignal.load(std::memory_order_relaxed);
+}
+
+int
+stopExitCode()
+{
+    const int sig = stopSignal();
+    return sig == 0 ? 0 : 128 + sig;
+}
+
+void
+requestStop(int signal)
+{
+    g_stopSignal.store(signal, std::memory_order_relaxed);
+}
+
+void
+clearStop()
+{
+    g_stopSignal.store(0, std::memory_order_relaxed);
+}
+
+} // namespace fsmoe::interrupt

@@ -79,6 +79,14 @@ siteName(Site site)
         return "timeout";
     case Site::TornJournalWrite:
         return "torn";
+    case Site::TransportDrop:
+        return "drop";
+    case Site::TransportDelay:
+        return "delay";
+    case Site::TransportDisconnect:
+        return "disconnect";
+    case Site::WorkerKill:
+        return "worker-kill";
     default:
         return "?";
     }
@@ -145,6 +153,7 @@ parseSpec(const std::string &spec, FaultConfig *out, std::string *error)
             if (error != nullptr)
                 *error = "unknown fault spec key '" + k +
                          "' (want seed, eval, crash, timeout, torn, "
+                         "drop, delay, disconnect, worker-kill, "
                          "kill-after)";
             return false;
         }

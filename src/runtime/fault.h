@@ -26,9 +26,27 @@
  *                    record and the process exits — exactly the torn
  *                    tail recovery must truncate
  *
+ * Transport sites (the sweep service, src/service/) — each proves one
+ * failover path of the daemon's worker protocol (docs/SERVICE.md):
+ *
+ *   TransportDrop       a heartbeat frame is silently not sent —
+ *                       exercises the supervisor's tolerance for lost
+ *                       frames (results still arrive; one missed beat
+ *                       must not kill a healthy worker)
+ *   TransportDelay      the worker stalls past the heartbeat deadline
+ *                       before its next frame — exercises the
+ *                       monotonic-clock watchdog + shard reassignment
+ *   TransportDisconnect the worker closes its socket mid-shard and
+ *                       exits — exercises EOF detection + reassignment
+ *                       of the shard's unfinished remainder
+ *   WorkerKill          the service worker process dies (SIGKILL-
+ *                       style _exit) before evaluating a scenario —
+ *                       exercises death detection, respawn, and
+ *                       reassignment
+ *
  * Plus `kill-after=K`: the process exits after the K-th successful
  * journal append — a precise, scheduler-independent way to kill a
- * sweep mid-run.
+ * sweep (or the daemon itself) mid-run.
  *
  * Configuration comes from `fsmoe_sweep --inject SPEC` or the
  * FSMOE_FAULT environment variable (same spec syntax, read lazily at
@@ -62,10 +80,17 @@ enum class Site
     WorkerCrash = 1,
     WorkerTimeout = 2,
     TornJournalWrite = 3,
-    NumSites = 4,
+    TransportDrop = 4,
+    TransportDelay = 5,
+    TransportDisconnect = 6,
+    WorkerKill = 7,
+    NumSites = 8,
 };
 
-/** Spec keyword for @p site ("eval", "crash", "timeout", "torn"). */
+/**
+ * Spec keyword for @p site ("eval", "crash", "timeout", "torn",
+ * "drop", "delay", "disconnect", "worker-kill").
+ */
 const char *siteName(Site site);
 
 /** One process's injection plan. */
@@ -73,7 +98,7 @@ struct FaultConfig
 {
     uint64_t seed = 0;
     /// Injection probability per Site, indexed by Site value.
-    double rate[static_cast<int>(Site::NumSites)] = {0, 0, 0, 0};
+    double rate[static_cast<int>(Site::NumSites)] = {};
     /// Exit the process after this many successful journal appends;
     /// 0 disables.
     uint64_t killAfterAppends = 0;

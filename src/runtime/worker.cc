@@ -1,5 +1,6 @@
 #include "runtime/worker.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <sstream>
@@ -11,6 +12,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "base/interrupt.h"
 #include "base/logging.h"
 #include "base/stats.h"
 #include "core/schedules/schedule.h"
@@ -21,26 +23,6 @@
 namespace fsmoe::runtime {
 
 namespace {
-
-/** Identity-only record for a scenario that never produced a result. */
-SweepResult
-failureRecord(const Scenario &s, ResultStatus status, int attempts,
-              const std::string &error)
-{
-    SweepResult r;
-    r.model = s.model;
-    r.cluster = s.cluster;
-    r.schedule = s.schedule;
-    r.batch = s.batch;
-    r.seqLen = s.seqLen;
-    r.numLayers = s.numLayers;
-    r.numExperts = s.numExperts;
-    r.rMax = s.rMax;
-    r.status = status;
-    r.attempts = attempts;
-    r.error = error;
-    return r;
-}
 
 void
 backoffBeforeRetry(const RobustOptions &opts, int failed_attempts)
@@ -254,6 +236,25 @@ attemptIsolated(const Scenario &s, const RobustOptions &opts)
 
 } // namespace
 
+SweepResult
+failureRecord(const Scenario &s, ResultStatus status, int attempts,
+              const std::string &error)
+{
+    SweepResult r;
+    r.model = s.model;
+    r.cluster = s.cluster;
+    r.schedule = s.schedule;
+    r.batch = s.batch;
+    r.seqLen = s.seqLen;
+    r.numLayers = s.numLayers;
+    r.numExperts = s.numExperts;
+    r.rMax = s.rMax;
+    r.status = status;
+    r.attempts = attempts;
+    r.error = error;
+    return r;
+}
+
 int
 retryBackoffMs(const RobustOptions &opts, int attempt)
 {
@@ -307,6 +308,11 @@ runRobust(const std::vector<Scenario> &grid, const RobustOptions &opts,
         }
     }
 
+    // The journal append below finishes even when a stop signal has
+    // already been recorded — the handler only sets a flag — so a
+    // Ctrl-C never tears the record in flight; it only prevents new
+    // scenarios from starting.
+    std::atomic<int> finished{0};
     const auto finish = [&](size_t i, SweepResult r) {
         if (journal != nullptr) {
             std::string error;
@@ -314,6 +320,9 @@ runRobust(const std::vector<Scenario> &grid, const RobustOptions &opts,
                 FSMOE_WARN(error);
         }
         results[i] = std::move(r);
+        const int n = finished.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (opts.stopAfterResults > 0 && n >= opts.stopAfterResults)
+            interrupt::requestStop(SIGTERM);
     };
 
     if (opts.isolate) {
@@ -321,6 +330,8 @@ runRobust(const std::vector<Scenario> &grid, const RobustOptions &opts,
         // threaded process can deadlock the child on locks held by
         // other threads at fork time.
         for (size_t i = 0; i < grid.size(); ++i) {
+            if (interrupt::stopRequested())
+                break;
             if (done[i] == 0)
                 finish(i, attemptIsolated(grid[i], opts));
         }
@@ -332,6 +343,8 @@ runRobust(const std::vector<Scenario> &grid, const RobustOptions &opts,
             if (done[i] != 0)
                 continue;
             pending.push_back(pool.submit([&, i]() {
+                if (interrupt::stopRequested())
+                    return; // graceful stop: never start new work
                 finish(i, attemptInProcess(grid[i], opts));
             }));
         }

@@ -66,6 +66,12 @@ struct RobustOptions
     /// min(backoffBaseMs << (attempt-1), backoffMaxMs).
     int backoffBaseMs = 10;
     int backoffMaxMs = 1000;
+    /// Testing hook for the graceful-stop path: after this many
+    /// scenarios finish, act as if SIGTERM arrived (see
+    /// base/interrupt.h). 0 disables. Unlike a real signal this is
+    /// scheduler-independent, so CI can exercise Ctrl-C semantics
+    /// deterministically.
+    int stopAfterResults = 0;
 };
 
 /** The delay before retrying after @p attempt (1-based) failures. */
@@ -81,6 +87,14 @@ int retryBackoffMs(const RobustOptions &opts, int attempt);
 SweepResult evaluateScenario(const Scenario &s, int attempt);
 
 /**
+ * Identity-only record for a scenario that never produced a result —
+ * what quarantine (here and in service/sweep_server) persists so the
+ * sweep completes with the failure explicit instead of lost.
+ */
+SweepResult failureRecord(const Scenario &s, ResultStatus status,
+                          int attempts, const std::string &error);
+
+/**
  * Evaluate @p grid to completion under @p opts, honouring
  * fault-injection sites (runtime/fault.h). Results come back in grid
  * order, one per scenario: Ok records carry the simulation outcome,
@@ -90,6 +104,14 @@ SweepResult evaluateScenario(const Scenario &s, int attempt);
  * appended as it completes, and entries recovered by the journal are
  * honoured: Ok entries are not re-simulated; Failed/Quarantined
  * entries are re-attempted fresh.
+ *
+ * Graceful stop: when base/interrupt's stop flag is raised (SIGINT/
+ * SIGTERM via installStopHandlers, or opts.stopAfterResults) no new
+ * scenario is started; scenarios already finished keep their journal
+ * records (the append in flight completes — the handler only sets a
+ * flag), and unstarted ones come back as default records with an
+ * empty schedule. Callers should treat the sweep as partial when
+ * interrupt::stopRequested() and resume it from the journal.
  */
 std::vector<SweepResult> runRobust(const std::vector<Scenario> &grid,
                                    const RobustOptions &opts,

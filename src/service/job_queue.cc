@@ -1,0 +1,197 @@
+#include "service/job_queue.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "base/fileio.h"
+
+namespace fsmoe::service {
+
+namespace {
+
+bool
+ensureDir(const std::string &path, std::string *error)
+{
+    if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST)
+        return true;
+    if (error != nullptr)
+        *error = "cannot create directory '" + path +
+                 "': " + std::strerror(errno);
+    return false;
+}
+
+std::string
+formatId(unsigned seq, const std::string &name)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%04u", seq);
+    return std::string(buf) + "-" + name;
+}
+
+/** The numeric prefix of "<seq>-<name>", or 0 when malformed. */
+unsigned
+idSequence(const std::string &id)
+{
+    const size_t dash = id.find('-');
+    if (dash == std::string::npos)
+        return 0;
+    unsigned seq = 0;
+    for (size_t i = 0; i < dash; ++i) {
+        const char c = id[i];
+        if (c < '0' || c > '9')
+            return 0;
+        seq = seq * 10 + static_cast<unsigned>(c - '0');
+    }
+    return seq;
+}
+
+} // namespace
+
+std::string
+JobQueue::jobsDir() const
+{
+    return dir_ + "/jobs";
+}
+
+std::string
+JobQueue::specPath(const std::string &jobId) const
+{
+    return jobsDir() + "/" + jobId + ".spec";
+}
+
+std::string
+JobQueue::statePath(const std::string &jobId) const
+{
+    return jobsDir() + "/" + jobId + ".state";
+}
+
+std::string
+JobQueue::journalPath(const std::string &jobId) const
+{
+    return jobsDir() + "/" + jobId + ".journal";
+}
+
+bool
+JobQueue::open(const std::string &dir, std::string *error)
+{
+    dir_ = dir;
+    return ensureDir(dir_, error) && ensureDir(jobsDir(), error);
+}
+
+bool
+JobQueue::submit(const JobSpec &job, std::string *jobId, std::string *error)
+{
+    // Find the next free sequence number, then race for it with
+    // O_EXCL — the claim file is the cross-process reservation, so
+    // two concurrent submitters can never share an id. Claims are
+    // counted even when their state never committed (a submitter died
+    // mid-submit): the dead claim's sequence number stays burned, so
+    // committed ids keep sorting in submission order.
+    unsigned seq = 1;
+    if (DIR *d = ::opendir(jobsDir().c_str())) {
+        for (struct dirent *e = ::readdir(d); e != nullptr;
+             e = ::readdir(d)) {
+            const std::string name = e->d_name;
+            const std::string suffix = ".claim";
+            if (name.size() > suffix.size() &&
+                name.compare(name.size() - suffix.size(), suffix.size(),
+                             suffix) == 0)
+                seq = std::max(
+                    seq,
+                    idSequence(name.substr(0, name.size() - suffix.size())) +
+                        1);
+        }
+        ::closedir(d);
+    }
+    for (int tries = 0; tries < 10000; ++tries, ++seq) {
+        const std::string id = formatId(seq, job.name);
+        const std::string claim = jobsDir() + "/" + id + ".claim";
+        const int fd =
+            ::open(claim.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0666);
+        if (fd < 0) {
+            if (errno == EEXIST)
+                continue; // someone else holds this id; try the next
+            if (error != nullptr)
+                *error = "cannot claim job id '" + id +
+                         "': " + std::strerror(errno);
+            return false;
+        }
+        ::close(fd);
+        if (!fileio::atomicWriteFile(specPath(id), serializeJobSpec(job),
+                                     error))
+            return false;
+        // State lands last: its atomic rename is the commit point
+        // that makes the job visible to the daemon.
+        if (!fileio::atomicWriteFile(statePath(id), "queued\n", error))
+            return false;
+        if (jobId != nullptr)
+            *jobId = id;
+        return true;
+    }
+    if (error != nullptr)
+        *error = "cannot claim a job id (queue directory full?)";
+    return false;
+}
+
+std::vector<JobEntry>
+JobQueue::scan(std::string *error) const
+{
+    std::vector<JobEntry> entries;
+    DIR *d = ::opendir(jobsDir().c_str());
+    if (d == nullptr) {
+        if (error != nullptr)
+            *error = "cannot open queue directory '" + jobsDir() +
+                     "': " + std::strerror(errno);
+        return entries;
+    }
+    for (struct dirent *e = ::readdir(d); e != nullptr; e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        const std::string suffix = ".state";
+        if (name.size() <= suffix.size() ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        JobEntry entry;
+        entry.id = name.substr(0, name.size() - suffix.size());
+        std::string text;
+        if (!fileio::readTextFile(statePath(entry.id), &text, nullptr))
+            continue; // raced with a concurrent rewrite; next scan sees it
+        while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
+            text.pop_back();
+        const size_t space = text.find(' ');
+        entry.state = text.substr(0, space);
+        if (space != std::string::npos)
+            entry.error = text.substr(space + 1);
+        entries.push_back(std::move(entry));
+    }
+    ::closedir(d);
+    std::sort(entries.begin(), entries.end(),
+              [](const JobEntry &a, const JobEntry &b) { return a.id < b.id; });
+    return entries;
+}
+
+bool
+JobQueue::loadSpec(const std::string &jobId, JobSpec *job,
+                   std::string *error) const
+{
+    std::string text;
+    if (!fileio::readTextFile(specPath(jobId), &text, error))
+        return false;
+    return parseJobSpec(text, job, error);
+}
+
+bool
+JobQueue::setState(const std::string &jobId, const std::string &state,
+                   std::string *error)
+{
+    return fileio::atomicWriteFile(statePath(jobId), state + "\n", error);
+}
+
+} // namespace fsmoe::service

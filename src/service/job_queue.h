@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Crash-safe persistent job queue for the sweep service.
+ *
+ * The queue is a directory, not a database: every job is three files
+ * under `<dir>/jobs/`, each written atomically (base/fileio), so the
+ * queue survives a SIGKILL of daemon or client at any instant with no
+ * recovery scan beyond "read what's there":
+ *
+ *   <id>.claim    empty; O_EXCL-created to reserve the id (the one
+ *                 deliberately non-atomic write in the layer — an
+ *                 empty file has no torn state to observe)
+ *   <id>.spec     the plain-text JobSpec (atomic rename)
+ *   <id>.state    one line: "queued" | "active" | "done" |
+ *                 "failed <message>" (atomic rename)
+ *   <id>.journal  the sweep's append-only result journal
+ *                 (runtime/journal.h), created by the daemon
+ *
+ * Ids are `<seq>-<name>` with a zero-padded sequence number, so
+ * lexicographic order is submission order and `ls` shows the queue.
+ *
+ * Submission protocol (fsmoe_submit): claim an id, atomically write
+ * the spec, then atomically write state "queued". The daemon only
+ * picks up jobs whose state file exists and reads "queued" — a client
+ * killed mid-submit leaves a claim with no state, which is inert
+ * debris, never a half-submitted job.
+ *
+ * Crash recovery (fsmoe_sweepd startup): jobs found in state "active"
+ * were in flight when a previous daemon died; they are re-run with
+ * `resume` set, replaying `<id>.journal` so finished scenarios are
+ * not re-simulated and the merged output still lands byte-identical.
+ *
+ * Thread-safety: JobQueue is used by one thread at a time per
+ * process; cross-process safety comes from O_EXCL claims and atomic
+ * renames, not locks.
+ */
+#ifndef FSMOE_SERVICE_JOB_QUEUE_H
+#define FSMOE_SERVICE_JOB_QUEUE_H
+
+#include <string>
+#include <vector>
+
+#include "service/job.h"
+
+namespace fsmoe::service {
+
+/** One queue entry as seen by a scan. */
+struct JobEntry
+{
+    std::string id;    ///< "<seq>-<name>".
+    std::string state; ///< First word of the state file.
+    std::string error; ///< Remainder of a "failed" state line.
+};
+
+class JobQueue
+{
+  public:
+    /**
+     * Bind to @p dir, creating it (and its jobs/ subdirectory) when
+     * missing. Returns false with *error when the directories cannot
+     * be created or are not writable.
+     */
+    bool open(const std::string &dir, std::string *error);
+
+    /**
+     * Persist @p job as a new queue entry in state "queued". On
+     * success *jobId names the entry. Safe against concurrent
+     * submitters (O_EXCL claim) and against the submitter dying at
+     * any point (see file comment).
+     */
+    bool submit(const JobSpec &job, std::string *jobId, std::string *error);
+
+    /**
+     * Every job in the queue, sorted by id (= submission order).
+     * Claims without a state file are skipped — they are either
+     * mid-submission or dead submitters' debris.
+     */
+    std::vector<JobEntry> scan(std::string *error) const;
+
+    /** Load the spec of @p jobId. */
+    bool loadSpec(const std::string &jobId, JobSpec *job,
+                  std::string *error) const;
+
+    /**
+     * Atomically set @p jobId's state line ("active", "done",
+     * "failed <message>", ...).
+     */
+    bool setState(const std::string &jobId, const std::string &state,
+                  std::string *error);
+
+    /** Paths of a job's files (valid whether or not they exist). */
+    std::string specPath(const std::string &jobId) const;
+    std::string statePath(const std::string &jobId) const;
+    std::string journalPath(const std::string &jobId) const;
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string jobsDir() const;
+
+    std::string dir_;
+};
+
+} // namespace fsmoe::service
+
+#endif // FSMOE_SERVICE_JOB_QUEUE_H

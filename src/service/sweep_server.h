@@ -1,0 +1,131 @@
+/**
+ * @file
+ * SweepServer — the resilient sweep service supervisor.
+ *
+ * The server turns one submitted JobSpec into a finished merged result
+ * file by fanning the job's scenario grid out to a pool of forked
+ * worker processes over AF_UNIX socketpairs (service/protocol.h) and
+ * healing every failure mode a worker can exhibit:
+ *
+ *   worker dies (SIGKILL, crash, injected worker-kill)
+ *     -> death is observed via socket EOF + waitpid; the shard's
+ *        unfinished remainder is reassigned and a fresh worker is
+ *        forked into the slot
+ *   worker stalls (hang, injected delay)
+ *     -> a per-worker heartbeat watchdog on std::chrono::steady_clock
+ *        (wall-clock time is banned in deadline arithmetic — see
+ *        fsmoe_lint's wallclock-deadline rule) SIGKILLs the worker
+ *        past heartbeatTimeoutMs and reassigns its shard
+ *   worker disconnects (socket close, injected disconnect)
+ *     -> same reassignment path as death
+ *   scenario evaluation fails (throw, injected eval fault)
+ *     -> the worker reports EvalError and continues; the failed index
+ *        rides the shard's next assignment attempt
+ *   the daemon itself dies (SIGKILL, injected kill-after)
+ *     -> every streamed result was already journalled (fsync'd);
+ *        workers die with it via PR_SET_PDEATHSIG; a restarted daemon
+ *        resumes the job from the journal
+ *
+ * Reassignment is bounded: a shard reassigned maxShardAttempts times
+ * has its remaining scenarios quarantined (runtime::failureRecord),
+ * mirroring runRobust's retry-then-quarantine policy, with the same
+ * deterministic exponential backoff between attempts.
+ *
+ * Determinism contract (docs/SERVICE.md): scenario evaluation is pure
+ * and results are keyed by grid index, so the merged output written to
+ * the job's `out` path is byte-identical to a single-process
+ * `fsmoe_sweep` over the same grid — regardless of worker count,
+ * shard size, injected faults, or how many times the job was resumed.
+ *
+ * Thread-safety: the supervisor is strictly single-threaded (fork
+ * from a threaded process is a deadlock lottery); all concurrency is
+ * between processes. Progress counters land in the stats registry
+ * under service.* (docs/OBSERVABILITY.md).
+ */
+#ifndef FSMOE_SERVICE_SWEEP_SERVER_H
+#define FSMOE_SERVICE_SWEEP_SERVER_H
+
+#include <cstddef>
+#include <string>
+
+#include "service/job.h"
+#include "service/job_queue.h"
+
+namespace fsmoe::service {
+
+/** Supervisor policy knobs. */
+struct ServerOptions
+{
+    /// Worker processes to keep alive while a job runs.
+    int numWorkers = 3;
+    /// Shards per worker: the grid's pending indices are split into
+    /// numWorkers * shardsPerWorker contiguous slices, so losing a
+    /// worker forfeits at most 1/shardsPerWorker of its fair share.
+    int shardsPerWorker = 4;
+    /// Interval at which an idle worker volunteers a heartbeat; busy
+    /// workers beat once per scenario.
+    int heartbeatMs = 50;
+    /// Watchdog: a busy worker silent for this long (steady clock) is
+    /// SIGKILLed and its shard reassigned.
+    int heartbeatTimeoutMs = 2000;
+    /// Assignment attempts before a shard's remainder is quarantined.
+    int maxShardAttempts = 3;
+    /// Deterministic exponential backoff before a reassignment:
+    /// min(backoffBaseMs << (attempt-1), backoffMaxMs).
+    int backoffBaseMs = 10;
+    int backoffMaxMs = 1000;
+    /// Worker respawns tolerated per job before the job fails — a
+    /// backstop against a fault config that kills every fork.
+    int maxWorkerRestarts = 200;
+    /// Queue poll interval for serve() when the queue is empty.
+    int queuePollMs = 200;
+};
+
+/** What one runJob() call accomplished. */
+struct JobOutcome
+{
+    bool ok = false;          ///< Merged output written; job complete.
+    bool interrupted = false; ///< Graceful stop drained the job early.
+    std::string error;        ///< Failure description when !ok.
+    size_t scenarios = 0;     ///< Grid size.
+    size_t okResults = 0;     ///< Scenarios with status Ok.
+    size_t quarantined = 0;   ///< Scenarios given up on.
+    size_t resumed = 0;       ///< Scenarios recovered from the journal.
+};
+
+class SweepServer
+{
+  public:
+    explicit SweepServer(const ServerOptions &opts) : opts_(opts) {}
+
+    /**
+     * Run @p job to completion: build its grid, recover @p journalPath
+     * when @p resume, fan pending scenarios out to workers, heal
+     * failures, and atomically write the merged result to job.outPath.
+     * On graceful stop (base/interrupt) the job is drained — streamed
+     * results are journalled, no merged output is written — and
+     * outcome.interrupted is set so the caller can leave the job
+     * resumable. Returns outcome.ok.
+     */
+    bool runJob(const JobSpec &job, const std::string &journalPath,
+                bool resume, JobOutcome *outcome);
+
+    /**
+     * Daemon loop: repeatedly scan @p queue, run "queued" jobs in
+     * submission order (and first re-run "active" jobs — a previous
+     * daemon died holding them — resuming from their journals), and
+     * record "done"/"failed <error>" states. With @p once the loop
+     * ends after one pass over a non-growing queue instead of
+     * polling. Returns the process exit code: 0, or 128+signal after
+     * a graceful stop (interrupted jobs stay "active" for the next
+     * daemon).
+     */
+    int serve(JobQueue &queue, bool once);
+
+  private:
+    ServerOptions opts_;
+};
+
+} // namespace fsmoe::service
+
+#endif // FSMOE_SERVICE_SWEEP_SERVER_H

@@ -199,6 +199,38 @@ TEST(Fault, SiteNamesMatchSpecKeywords)
     EXPECT_STREQ(siteName(Site::WorkerCrash), "crash");
     EXPECT_STREQ(siteName(Site::WorkerTimeout), "timeout");
     EXPECT_STREQ(siteName(Site::TornJournalWrite), "torn");
+    EXPECT_STREQ(siteName(Site::TransportDrop), "drop");
+    EXPECT_STREQ(siteName(Site::TransportDelay), "delay");
+    EXPECT_STREQ(siteName(Site::TransportDisconnect), "disconnect");
+    EXPECT_STREQ(siteName(Site::WorkerKill), "worker-kill");
+}
+
+TEST(Fault, ParseSpecAcceptsTheTransportSites)
+{
+    FaultConfig cfg;
+    std::string error;
+    ASSERT_TRUE(parseSpec(
+        "seed=3,drop=0.5,delay=0.25,disconnect=0.125,worker-kill=0.0625",
+        &cfg, &error))
+        << error;
+    EXPECT_DOUBLE_EQ(cfg.rate[static_cast<int>(Site::TransportDrop)],
+                     0.5);
+    EXPECT_DOUBLE_EQ(cfg.rate[static_cast<int>(Site::TransportDelay)],
+                     0.25);
+    EXPECT_DOUBLE_EQ(
+        cfg.rate[static_cast<int>(Site::TransportDisconnect)], 0.125);
+    EXPECT_DOUBLE_EQ(cfg.rate[static_cast<int>(Site::WorkerKill)],
+                     0.0625);
+    EXPECT_TRUE(cfg.anyEnabled());
+
+    // Every site keyword must round-trip through the parser alone.
+    for (int i = 0; i < static_cast<int>(Site::NumSites); ++i) {
+        const Site site = static_cast<Site>(i);
+        FaultConfig one;
+        const std::string spec = std::string(siteName(site)) + "=1";
+        ASSERT_TRUE(parseSpec(spec, &one, &error)) << spec << ": " << error;
+        EXPECT_DOUBLE_EQ(one.rate[i], 1.0) << spec;
+    }
 }
 
 } // namespace

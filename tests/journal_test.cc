@@ -259,6 +259,109 @@ TEST(Journal, NonOkRecordsRoundTripWithStatusIntact)
     std::remove(path.c_str());
 }
 
+TEST(Journal, DuplicateRecordsFromAReassignedShardAreIdempotent)
+{
+    // Service failover replays a shard from its start: results the
+    // dead worker already streamed are streamed (and journalled)
+    // again. Evaluation is pure, so the duplicates are byte-identical
+    // and recovery must keep exactly one record per index.
+    const auto grid = smallGrid();
+    ASSERT_GE(grid.size(), 3u);
+    const std::string path = scratchPath("journal_dup_shard.txt");
+
+    Journal j;
+    std::string error;
+    ASSERT_TRUE(j.open(path, grid, /*resume=*/false, &error)) << error;
+    // First assignment finishes indices 0 and 1, then the worker dies.
+    ASSERT_TRUE(j.append(0, recordFor(grid, 0, 10.0), &error)) << error;
+    ASSERT_TRUE(j.append(1, recordFor(grid, 1, 11.0), &error)) << error;
+    // Reassigned shard replays 1 (identical bytes) and reaches 2.
+    ASSERT_TRUE(j.append(1, recordFor(grid, 1, 11.0), &error)) << error;
+    ASSERT_TRUE(j.append(2, recordFor(grid, 2, 12.0), &error)) << error;
+    j.close();
+
+    Journal back;
+    ASSERT_TRUE(back.open(path, grid, /*resume=*/true, &error)) << error;
+    ASSERT_EQ(back.recovered().size(), 3u);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(toJsonRecord(back.recovered().at(i)),
+                  toJsonRecord(recordFor(grid, i, 10.0 + i)));
+    std::remove(path.c_str());
+}
+
+TEST(Journal, OutOfOrderShardAppendsMergeToCanonicalBytes)
+{
+    // Two shards stream results concurrently, so the journal's append
+    // order interleaves arbitrarily. recovered() is keyed by grid
+    // index, so rebuilding in index order must reproduce the exact
+    // bytes of an unsharded in-order sweep.
+    const auto grid = smallGrid();
+    ASSERT_GE(grid.size(), 2u);
+    const std::string path = scratchPath("journal_ooo_shard.txt");
+    const size_t half = grid.size() / 2;
+
+    Journal j;
+    std::string error;
+    ASSERT_TRUE(j.open(path, grid, /*resume=*/false, &error)) << error;
+    // Shard B (back half) lands first, then shard A (front half).
+    for (size_t i = half; i < grid.size(); ++i)
+        ASSERT_TRUE(j.append(i, recordFor(grid, i, 10.0 + i), &error))
+            << error;
+    for (size_t i = 0; i < half; ++i)
+        ASSERT_TRUE(j.append(i, recordFor(grid, i, 10.0 + i), &error))
+            << error;
+    j.close();
+
+    Journal back;
+    ASSERT_TRUE(back.open(path, grid, /*resume=*/true, &error)) << error;
+    ASSERT_EQ(back.recovered().size(), grid.size());
+    std::vector<SweepResult> rebuilt;
+    for (const auto &kv : back.recovered()) // std::map: index order
+        rebuilt.push_back(kv.second);
+    std::vector<SweepResult> in_order;
+    for (size_t i = 0; i < grid.size(); ++i)
+        in_order.push_back(recordFor(grid, i, 10.0 + i));
+
+    const std::string got = scratchPath("journal_ooo_got.json");
+    const std::string want = scratchPath("journal_ooo_want.json");
+    ASSERT_TRUE(writeResultsJson(got, rebuilt));
+    ASSERT_TRUE(writeResultsJson(want, in_order));
+    EXPECT_EQ(readAll(got), readAll(want));
+    std::remove(path.c_str());
+    std::remove(got.c_str());
+    std::remove(want.c_str());
+}
+
+TEST(Journal, RejectsResumeWithMatchingFingerprintButDifferentN)
+{
+    // The header carries both grid=<fingerprint> and n=<size>. A
+    // journal whose fingerprint happens to match but whose n differs
+    // is from a different sweep and must be rejected outright — not
+    // partially recovered.
+    const auto grid = smallGrid();
+    const std::string path = scratchPath("journal_badn.txt");
+
+    Journal j;
+    std::string error;
+    ASSERT_TRUE(j.open(path, grid, /*resume=*/false, &error)) << error;
+    ASSERT_TRUE(j.append(0, recordFor(grid, 0, 1.0), &error)) << error;
+    j.close();
+
+    // Tamper the header's n while leaving the fingerprint intact.
+    std::string text = readAll(path);
+    const std::string needle = " n=" + std::to_string(grid.size());
+    const size_t pos = text.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, needle.size(),
+                 " n=" + std::to_string(grid.size() + 1));
+    ASSERT_TRUE(fileio::atomicWriteFile(path, text, &error)) << error;
+
+    Journal back;
+    EXPECT_FALSE(back.open(path, grid, /*resume=*/true, &error));
+    EXPECT_NE(error.find("does not match"), std::string::npos) << error;
+    std::remove(path.c_str());
+}
+
 TEST(Journal, InjectedTornWriteIsRecoveredAfterProcessDeath)
 {
     const auto grid = smallGrid();

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Tests for the sweep service layer: frame encoding/decoding and
+ * reader poisoning (service/protocol.h), job spec parsing and
+ * canonical serialisation (service/job.h), the crash-safe filesystem
+ * job queue (service/job_queue.h), and an in-process end-to-end
+ * SweepServer::runJob whose merged output must be byte-identical to a
+ * plain single-process evaluation of the same grid.
+ */
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/fileio.h"
+#include "runtime/journal.h"
+#include "runtime/result_store.h"
+#include "runtime/worker.h"
+#include "service/job.h"
+#include "service/job_queue.h"
+#include "service/protocol.h"
+#include "service/sweep_server.h"
+
+namespace fsmoe::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+scratchDir(const char *name)
+{
+    fs::path p = fs::path(testing::TempDir()) / name;
+    fs::remove_all(p);
+    return p.string();
+}
+
+std::string
+scratchPath(const char *name)
+{
+    fs::path p = fs::path(testing::TempDir()) / name;
+    fs::remove(p);
+    return p.string();
+}
+
+std::string
+readAll(const std::string &path)
+{
+    std::string text, error;
+    EXPECT_TRUE(fileio::readTextFile(path, &text, &error)) << error;
+    return text;
+}
+
+// ---- protocol ------------------------------------------------------
+
+TEST(ServiceProtocol, FramesRoundTripThroughTheReaderInOrder)
+{
+    const std::vector<Frame> sent = {
+        {FrameType::Hello, "3"},
+        {FrameType::Config, "50 2000\nfsmoe-job v1"},
+        {FrameType::Assign, "7 2 3 10 11 12"},
+        {FrameType::Result, "10 {\"model\":\"m\"}"},
+        {FrameType::Shutdown, ""},
+    };
+    std::string wire;
+    for (const Frame &f : sent)
+        wire += encodeFrame(f);
+
+    // Feed in deliberately awkward 3-byte chunks: partial length
+    // prefixes and split bodies must all reassemble.
+    FrameReader reader;
+    std::vector<Frame> got;
+    std::string error;
+    for (size_t i = 0; i < wire.size(); i += 3) {
+        reader.feed(wire.data() + i, std::min<size_t>(3, wire.size() - i));
+        Frame f;
+        while (reader.next(&f, &error))
+            got.push_back(f);
+        ASSERT_TRUE(error.empty()) << error;
+    }
+    ASSERT_EQ(got.size(), sent.size());
+    for (size_t i = 0; i < sent.size(); ++i) {
+        EXPECT_EQ(got[i].type, sent[i].type);
+        EXPECT_EQ(got[i].body, sent[i].body);
+    }
+    EXPECT_EQ(reader.pendingBytes(), 0u);
+}
+
+TEST(ServiceProtocol, IncompleteFrameStaysBufferedWithoutError)
+{
+    const std::string wire = encodeFrame({FrameType::Hello, "worker-1"});
+    FrameReader reader;
+    reader.feed(wire.data(), wire.size() - 1); // hold back one byte
+    Frame f;
+    std::string error;
+    EXPECT_FALSE(reader.next(&f, &error));
+    EXPECT_TRUE(error.empty()) << error;
+    reader.feed(wire.data() + wire.size() - 1, 1);
+    ASSERT_TRUE(reader.next(&f, &error)) << error;
+    EXPECT_EQ(f.body, "worker-1");
+}
+
+TEST(ServiceProtocol, OversizedLengthPoisonsTheReaderPermanently)
+{
+    // A length prefix beyond kMaxFrameBytes means the stream framing
+    // is garbage; everything after it is untrustworthy.
+    std::string wire = "\xff\xff\xff\xff";
+    FrameReader reader;
+    reader.feed(wire.data(), wire.size());
+    Frame f;
+    std::string error;
+    EXPECT_FALSE(reader.next(&f, &error));
+    EXPECT_FALSE(error.empty());
+
+    // Even a subsequently-fed valid frame must not decode.
+    const std::string good = encodeFrame({FrameType::Hello, "1"});
+    reader.feed(good.data(), good.size());
+    error.clear();
+    EXPECT_FALSE(reader.next(&f, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(ServiceProtocol, UnknownTypeBytePoisonsTheReader)
+{
+    Frame bogus{static_cast<FrameType>('Z'), "payload"};
+    const std::string wire = encodeFrame(bogus);
+    FrameReader reader;
+    reader.feed(wire.data(), wire.size());
+    Frame f;
+    std::string error;
+    EXPECT_FALSE(reader.next(&f, &error));
+    EXPECT_NE(error.find("type"), std::string::npos) << error;
+}
+
+TEST(ServiceProtocol, ValidFrameTypeMatchesTheEnum)
+{
+    EXPECT_TRUE(validFrameType('H'));
+    EXPECT_TRUE(validFrameType('S'));
+    EXPECT_TRUE(validFrameType('R'));
+    EXPECT_FALSE(validFrameType('Z'));
+    EXPECT_FALSE(validFrameType('\0'));
+}
+
+// ---- job specs -----------------------------------------------------
+
+TEST(ServiceJob, SerializeParseRoundTripsCanonically)
+{
+    JobSpec job;
+    job.name = "demo_run-1";
+    job.batches = {1, 2, 4};
+    job.schedules = {"FSMoE", "Tutel"};
+    job.outPath = "/tmp/out.json";
+
+    const std::string text = serializeJobSpec(job);
+    JobSpec back;
+    std::string error;
+    ASSERT_TRUE(parseJobSpec(text, &back, &error)) << error;
+    EXPECT_EQ(back.name, job.name);
+    EXPECT_EQ(back.batches, job.batches);
+    EXPECT_EQ(back.schedules, job.schedules);
+    EXPECT_EQ(back.outPath, job.outPath);
+    // Canonical: a second serialise emits identical bytes.
+    EXPECT_EQ(serializeJobSpec(back), text);
+}
+
+TEST(ServiceJob, SchedulesLineIsOptional)
+{
+    JobSpec back;
+    std::string error;
+    ASSERT_TRUE(parseJobSpec("fsmoe-job v1\nname a\nbatches 1\nout o\n",
+                             &back, &error))
+        << error;
+    EXPECT_TRUE(back.schedules.empty());
+    // Empty schedules = full demo grid, same as runtime::demoGrid.
+    EXPECT_EQ(buildJobGrid(back).size(),
+              runtime::demoGrid({1}, {}).size());
+}
+
+TEST(ServiceJob, MalformedSpecsAreRejectedWithLineErrors)
+{
+    const char *bad[] = {
+        "fsmoe-job v2\nname a\nbatches 1\nout o\n",  // wrong version
+        "name a\nbatches 1\nout o\n",                // missing header
+        "fsmoe-job v1\nname a\nbatches 1\nout o\nfrobnicate yes\n",
+        "fsmoe-job v1\nname a\nbatches 0\nout o\n",  // bad batch
+        "fsmoe-job v1\nname a\nbatches x\nout o\n",  // non-integer
+        "fsmoe-job v1\nbatches 1\nout o\n",          // missing name
+        "fsmoe-job v1\nname a\nout o\n",             // missing batches
+        "fsmoe-job v1\nname a\nbatches 1\n",         // missing out
+        "fsmoe-job v1\nname bad/name\nbatches 1\nout o\n",
+    };
+    for (const char *text : bad) {
+        SCOPED_TRACE(text);
+        JobSpec out;
+        std::string error;
+        EXPECT_FALSE(parseJobSpec(text, &out, &error));
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(ServiceJob, GridMatchesDemoGridForTheSameAxes)
+{
+    JobSpec job;
+    job.name = "g";
+    job.batches = {1, 2};
+    job.outPath = "o";
+    const auto got = buildJobGrid(job);
+    const auto want = runtime::demoGrid({1, 2}, {});
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i].label(), want[i].label());
+}
+
+// ---- job queue -----------------------------------------------------
+
+JobSpec
+queueJob(const char *name)
+{
+    JobSpec job;
+    job.name = name;
+    job.batches = {1};
+    job.outPath = (fs::path(testing::TempDir()) / "unused.json").string();
+    return job;
+}
+
+TEST(ServiceJobQueue, SubmitScanAndStateTransitionsPersist)
+{
+    const std::string dir = scratchDir("svcq_basic");
+    JobQueue queue;
+    std::string error;
+    ASSERT_TRUE(queue.open(dir, &error)) << error;
+
+    std::string id1, id2;
+    ASSERT_TRUE(queue.submit(queueJob("alpha"), &id1, &error)) << error;
+    ASSERT_TRUE(queue.submit(queueJob("beta"), &id2, &error)) << error;
+    EXPECT_EQ(id1, "0001-alpha");
+    EXPECT_EQ(id2, "0002-beta");
+
+    std::vector<JobEntry> jobs = queue.scan(&error);
+    ASSERT_TRUE(error.empty()) << error;
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].id, id1); // sorted = submission order
+    EXPECT_EQ(jobs[0].state, "queued");
+    EXPECT_EQ(jobs[1].id, id2);
+
+    ASSERT_TRUE(queue.setState(id1, "active", &error)) << error;
+    ASSERT_TRUE(queue.setState(id2, "failed worker pool exhausted",
+                               &error))
+        << error;
+    jobs = queue.scan(&error);
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].state, "active");
+    EXPECT_EQ(jobs[1].state, "failed");
+    EXPECT_EQ(jobs[1].error, "worker pool exhausted");
+
+    // A fresh JobQueue over the same dir sees identical state: the
+    // queue is the filesystem, not process memory.
+    JobQueue other;
+    ASSERT_TRUE(other.open(dir, &error)) << error;
+    std::vector<JobEntry> again = other.scan(&error);
+    ASSERT_EQ(again.size(), 2u);
+    EXPECT_EQ(again[0].state, "active");
+    fs::remove_all(dir);
+}
+
+TEST(ServiceJobQueue, SpecRoundTripsThroughTheQueue)
+{
+    const std::string dir = scratchDir("svcq_spec");
+    JobQueue queue;
+    std::string error;
+    ASSERT_TRUE(queue.open(dir, &error)) << error;
+
+    JobSpec job = queueJob("spec_rt");
+    job.batches = {1, 2};
+    job.schedules = {"FSMoE"};
+    std::string id;
+    ASSERT_TRUE(queue.submit(job, &id, &error)) << error;
+
+    JobSpec back;
+    ASSERT_TRUE(queue.loadSpec(id, &back, &error)) << error;
+    EXPECT_EQ(serializeJobSpec(back), serializeJobSpec(job));
+    fs::remove_all(dir);
+}
+
+TEST(ServiceJobQueue, ClaimWithoutStateIsInvisibleDebris)
+{
+    // A submitter killed between claiming an id and committing the
+    // state file leaves a claim with no state — scan() must skip it
+    // and the id must stay burned (the next submit picks a new one).
+    const std::string dir = scratchDir("svcq_debris");
+    JobQueue queue;
+    std::string error;
+    ASSERT_TRUE(queue.open(dir, &error)) << error;
+
+    std::string id;
+    ASSERT_TRUE(queue.submit(queueJob("real"), &id, &error)) << error;
+    // Simulate the dead submitter's debris.
+    ASSERT_TRUE(fileio::atomicWriteFile(
+        dir + "/jobs/0002-ghost.claim", "", &error))
+        << error;
+
+    std::vector<JobEntry> jobs = queue.scan(&error);
+    ASSERT_EQ(jobs.size(), 1u);
+    EXPECT_EQ(jobs[0].id, id);
+
+    std::string id3;
+    ASSERT_TRUE(queue.submit(queueJob("next"), &id3, &error)) << error;
+    EXPECT_EQ(id3, "0003-next");
+    fs::remove_all(dir);
+}
+
+// ---- end-to-end runJob ---------------------------------------------
+
+TEST(ServiceSweepServer, RunJobOutputIsByteIdenticalToInProcessSweep)
+{
+    // The determinism contract (docs/SERVICE.md): the service's
+    // merged output for a grid must equal a plain in-process
+    // evaluation of the same grid, byte for byte.
+    JobSpec job = queueJob("e2e");
+    job.batches = {1};
+    job.schedules = {"FSMoE", "Tutel"};
+    job.outPath = scratchPath("svc_e2e_out.json");
+    const std::string journal = scratchPath("svc_e2e_journal.txt");
+
+    ServerOptions opts;
+    opts.numWorkers = 2;
+    opts.shardsPerWorker = 2;
+    SweepServer server(opts);
+    JobOutcome outcome;
+    ASSERT_TRUE(server.runJob(job, journal, /*resume=*/false, &outcome))
+        << outcome.error;
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_FALSE(outcome.interrupted);
+    EXPECT_EQ(outcome.quarantined, 0u);
+
+    const auto grid = buildJobGrid(job);
+    ASSERT_EQ(outcome.scenarios, grid.size());
+    EXPECT_EQ(outcome.okResults, grid.size());
+
+    std::vector<runtime::SweepResult> expect;
+    for (const auto &s : grid)
+        expect.push_back(runtime::evaluateScenario(s, /*attempt=*/1));
+    const std::string want = scratchPath("svc_e2e_want.json");
+    ASSERT_TRUE(runtime::writeResultsJson(want, expect));
+
+    EXPECT_EQ(readAll(job.outPath), readAll(want));
+    std::remove(job.outPath.c_str());
+    std::remove(journal.c_str());
+    std::remove(want.c_str());
+}
+
+TEST(ServiceSweepServer, RunJobResumesFromAPartialJournal)
+{
+    // Pre-journal a prefix of the grid, then let runJob resume: the
+    // resumed count must be visible in the outcome and the output
+    // still byte-identical to the uninterrupted run.
+    JobSpec job = queueJob("resume");
+    job.batches = {1};
+    job.schedules = {"FSMoE"};
+    job.outPath = scratchPath("svc_resume_out.json");
+    const std::string journal = scratchPath("svc_resume_journal.txt");
+
+    const auto grid = buildJobGrid(job);
+    ASSERT_GE(grid.size(), 2u);
+    {
+        runtime::Journal j;
+        std::string error;
+        ASSERT_TRUE(j.open(journal, grid, /*resume=*/false, &error))
+            << error;
+        ASSERT_TRUE(j.append(0, runtime::evaluateScenario(grid[0], 1),
+                             &error))
+            << error;
+    }
+
+    ServerOptions opts;
+    opts.numWorkers = 2;
+    SweepServer server(opts);
+    JobOutcome outcome;
+    ASSERT_TRUE(server.runJob(job, journal, /*resume=*/true, &outcome))
+        << outcome.error;
+    EXPECT_EQ(outcome.resumed, 1u);
+    EXPECT_EQ(outcome.okResults, grid.size());
+
+    std::vector<runtime::SweepResult> expect;
+    for (const auto &s : grid)
+        expect.push_back(runtime::evaluateScenario(s, /*attempt=*/1));
+    const std::string want = scratchPath("svc_resume_want.json");
+    ASSERT_TRUE(runtime::writeResultsJson(want, expect));
+    EXPECT_EQ(readAll(job.outPath), readAll(want));
+    std::remove(job.outPath.c_str());
+    std::remove(journal.c_str());
+    std::remove(want.c_str());
+}
+
+} // namespace
+} // namespace fsmoe::service

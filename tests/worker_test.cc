@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/interrupt.h"
 #include "base/stats.h"
 #include "runtime/fault.h"
 #include "runtime/journal.h"
@@ -309,6 +310,47 @@ TEST(Worker, QuarantinedSweepResumedCleanConvergesToCleanBytes)
     Journal back;
     ASSERT_TRUE(back.open(path, grid, /*resume=*/true, &error)) << error;
     const auto resumed = runRobust(grid, fastOpts(), &back);
+    EXPECT_EQ(recordBytes(resumed), recordBytes(engineResults(grid)));
+    std::remove(path.c_str());
+}
+
+TEST(Worker, StopAfterResultsDrainsGracefullyAndResumeConverges)
+{
+    // stopAfterResults is the deterministic stand-in for SIGTERM: the
+    // sweep stops starting scenarios once N finished, journalled work
+    // survives, unstarted scenarios come back empty, and a resumed
+    // sweep converges to the clean bytes.
+    FaultGuard guard;
+    interrupt::clearStop();
+    const auto grid = smallGrid();
+    ASSERT_GT(grid.size(), 2u);
+    const std::string path =
+        testing::TempDir() + "/worker_journal_stop.txt";
+    std::remove(path.c_str());
+
+    RobustOptions opts = fastOpts();
+    opts.numThreads = 1; // serial: exactly N finish before the stop
+    opts.stopAfterResults = 2;
+    std::string error;
+    size_t finished = 0;
+    {
+        Journal j;
+        ASSERT_TRUE(j.open(path, grid, /*resume=*/false, &error))
+            << error;
+        const auto partial = runRobust(grid, opts, &j);
+        EXPECT_TRUE(interrupt::stopRequested());
+        ASSERT_EQ(partial.size(), grid.size());
+        for (const SweepResult &r : partial)
+            finished += !r.schedule.empty();
+    }
+    EXPECT_EQ(finished, 2u);
+    interrupt::clearStop();
+
+    Journal back;
+    ASSERT_TRUE(back.open(path, grid, /*resume=*/true, &error)) << error;
+    EXPECT_EQ(back.recovered().size(), finished);
+    const auto resumed = runRobust(grid, fastOpts(), &back);
+    EXPECT_FALSE(interrupt::stopRequested());
     EXPECT_EQ(recordBytes(resumed), recordBytes(engineResults(grid)));
     std::remove(path.c_str());
 }

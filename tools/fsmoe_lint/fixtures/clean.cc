@@ -68,6 +68,14 @@ elapsedMs(std::chrono::steady_clock::time_point t0)
     return std::chrono::duration<double, std::milli>(dt).count();
 }
 
+// Deadlines on the monotonic clock: exactly what wallclock-deadline
+// demands — deadline/timeout keywords near steady_clock are fine.
+bool
+deadlinePassed(std::chrono::steady_clock::time_point deadline)
+{
+    return std::chrono::steady_clock::now() >= deadline;
+}
+
 // Iterating a plain vector accumulates in declaration order: fine.
 double
 vectorSum(const std::vector<double> &xs)

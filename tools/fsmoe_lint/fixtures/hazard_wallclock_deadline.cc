@@ -1,0 +1,33 @@
+// Fixture: wall-clock sources in deadline/timeout arithmetic.
+// Expected findings: exactly 3 wallclock-deadline. The system_clock
+// line also trips banned-time (the overlap is by design — banned-time
+// flags the source, wallclock-deadline the sharper deadline misuse),
+// so the total is 4.
+#include <chrono>
+#include <ctime>
+
+bool
+heartbeatExpired(long deadline_ns)
+{
+    long now_ns = // finding 1: wall-clock heartbeat deadline
+        std::chrono::system_clock::now().time_since_epoch().count();
+    return now_ns > deadline_ns;
+}
+
+long
+timeoutRemainingMs(long timeout_ms)
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_REALTIME, &ts); // finding 2: realtime base
+    return timeout_ms - ts.tv_sec * 1000;
+}
+
+long
+backoffElapsedMs()
+{
+    // finding 3: high_resolution_clock may alias system_clock
+    auto backoff_t0 = std::chrono::high_resolution_clock::now();
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               backoff_t0.time_since_epoch())
+        .count();
+}

@@ -16,6 +16,7 @@ const char *const kRuleIds[] = {
     "unordered-iter", "float-accum-unordered", "banned-rand",
     "banned-time",    "pointer-hash",          "thread-id",
     "addr-order",     "static-mutable",        "nonatomic-write",
+    "wallclock-deadline",
 };
 
 std::string
@@ -320,6 +321,38 @@ lintSource(const std::string &path, const std::string &text,
                 addFinding(&findings, path, li, r.rule, r.message,
                            fa.raw[li]);
         }
+    }
+
+    // ---- wallclock-deadline ---------------------------------------
+    // banned-time already flags system_clock anywhere; this rule is
+    // the sharper complaint for wall-clock sources (including
+    // high_resolution_clock, which may alias system_clock, and
+    // CLOCK_REALTIME, which banned-time cannot see) feeding deadline
+    // or timeout arithmetic, where an NTP step or suspend/resume makes
+    // the deadline fire early, late, or never. Context is judged over
+    // a +/-2 line window so the keyword may sit in the signature or
+    // the comparison rather than on the clock call itself.
+    static const std::regex kWallClock(
+        R"(\bsystem_clock\b|\bhigh_resolution_clock\b|\bCLOCK_REALTIME\b|\bgettimeofday\b)");
+    static const std::regex kDeadlineCtx(
+        R"(deadline|timeout|time_out|expir|backoff|watchdog|heartbeat|wait_until|wait_for|retry|lease)",
+        std::regex::icase);
+    for (size_t li = 0; li < code.size(); ++li) {
+        if (!std::regex_search(code[li], kWallClock))
+            continue;
+        size_t begin = li >= 2 ? li - 2 : 0;
+        size_t end = std::min(code.size(), li + 3);
+        bool ctx = false;
+        for (size_t wi = begin; wi < end && !ctx; ++wi)
+            ctx = std::regex_search(code[wi], kDeadlineCtx);
+        if (ctx)
+            addFinding(&findings, path, li, "wallclock-deadline",
+                       "wall-clock source in deadline/timeout "
+                       "arithmetic: an NTP step or suspend/resume "
+                       "makes this deadline fire early, late, or "
+                       "never — measure waits on "
+                       "std::chrono::steady_clock",
+                       fa.raw[li]);
     }
 
     // ---- unordered-iter + float-accum-unordered -------------------

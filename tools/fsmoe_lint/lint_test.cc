@@ -75,6 +75,9 @@ const FixtureCase kCases[] = {
     {"hazard_addr_order.cc", "addr-order", 2, 2},
     {"hazard_static_mutable.cc", "static-mutable", 2, 2},
     {"hazard_nonatomic_write.cc", "nonatomic-write", 3, 3},
+    // The system_clock line also trips banned-time — by design, same
+    // as the float-accum overlap above.
+    {"hazard_wallclock_deadline.cc", "wallclock-deadline", 3, 4},
 };
 
 TEST(FsmoeLint, EveryHazardClassIsFlaggedWithExactCount)
